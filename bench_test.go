@@ -1,0 +1,299 @@
+package clove
+
+import (
+	"testing"
+
+	"clove/internal/cluster"
+	"clove/internal/experiments"
+	"clove/internal/netem"
+	"clove/internal/sim"
+)
+
+// The benchmarks below regenerate every evaluation artifact of the paper at
+// QuickScale (see EXPERIMENTS.md for paper-vs-measured tables at larger
+// scales). Each reports the figure's headline metric via b.ReportMetric so
+// `go test -bench=.` output doubles as a miniature results table.
+
+func reportTopLoad(b *testing.B, rows []experiments.Row) {
+	b.Helper()
+	var maxLoad float64
+	for _, r := range rows {
+		if r.Load > maxLoad {
+			maxLoad = r.Load
+		}
+	}
+	for _, r := range rows {
+		if r.Load == maxLoad && r.MeanFCTSec > 0 {
+			name := r.Scheme
+			if r.Variant != "" {
+				name = r.Variant
+			}
+			b.ReportMetric(r.MeanFCTSec*1000, "msFCT:"+metricSafe(name))
+		}
+	}
+}
+
+// metricSafe strips characters testing.B.ReportMetric rejects in units.
+func metricSafe(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case ' ', '\t':
+			out = append(out, '_')
+		case '(', ')', ',':
+			// drop
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+func BenchmarkFig4b_SymmetricAvgFCT(b *testing.B) {
+	sc := experiments.Quick()
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig4b(sc, nil)
+	}
+	reportTopLoad(b, rows)
+}
+
+func BenchmarkFig4c_AsymmetricAvgFCT(b *testing.B) {
+	sc := experiments.Quick()
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig4c(sc, nil)
+	}
+	reportTopLoad(b, rows)
+}
+
+func BenchmarkFig5a_MiceFCT(b *testing.B) {
+	sc := experiments.Quick()
+	sc.Loads = []float64{0.7} // the breakdown figure's interesting point
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig5a(sc, nil)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MiceFCTSec*1000, "msMice:"+r.Scheme)
+	}
+}
+
+func BenchmarkFig5b_ElephantFCT(b *testing.B) {
+	sc := experiments.Quick()
+	sc.Loads = []float64{0.7}
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig5b(sc, nil)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.ElephFCTSec*1000, "msEleph:"+r.Scheme)
+	}
+}
+
+func BenchmarkFig5c_P99FCT(b *testing.B) {
+	sc := experiments.Quick()
+	sc.Loads = []float64{0.7}
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig5c(sc, nil)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.P99FCTSec*1000, "msP99:"+r.Scheme)
+	}
+}
+
+func BenchmarkFig6_ParamSensitivity(b *testing.B) {
+	sc := experiments.Quick()
+	sc.Loads = []float64{0.7}
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig6(sc, nil)
+	}
+	reportTopLoad(b, rows)
+}
+
+func BenchmarkFig7_Incast(b *testing.B) {
+	sc := experiments.Quick()
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig7(sc, nil)
+	}
+	for _, r := range rows {
+		if r.Fanout == 3 { // the largest fanout at quick scale
+			b.ReportMetric(r.GoodputBps/1e9, "gbps:"+r.Scheme)
+		}
+	}
+}
+
+func BenchmarkFig8a_SimSymmetric(b *testing.B) {
+	sc := experiments.Quick()
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig8a(sc, nil)
+	}
+	reportTopLoad(b, rows)
+}
+
+func BenchmarkFig8b_SimAsymmetric(b *testing.B) {
+	sc := experiments.Quick()
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig8b(sc, nil)
+	}
+	reportTopLoad(b, rows)
+}
+
+func BenchmarkFig9_MiceCDF(b *testing.B) {
+	sc := experiments.Quick()
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig9(sc, nil)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.P99FCTSec*1000, "msMiceP99:"+r.Scheme)
+	}
+}
+
+func BenchmarkHeadlineSummary(b *testing.B) {
+	sc := experiments.Quick()
+	var h experiments.HeadlineResult
+	for i := 0; i < b.N; i++ {
+		h = experiments.Summary(sc, 0.7, nil)
+	}
+	b.ReportMetric(h.CloveVsECMP, "xCloveVsECMP")
+	b.ReportMetric(h.EdgeFlowletVsECMP, "xEdgeFlowletVsECMP")
+	b.ReportMetric(h.CloveECNGainCapture*100, "pctGainCaptureECN")
+	b.ReportMetric(h.CloveINTGainCapture*100, "pctGainCaptureINT")
+}
+
+// --- Ablation benches (design choices beyond the paper's figures) ---
+
+func ablationRun(b *testing.B, mutate func(*cluster.Config)) float64 {
+	b.Helper()
+	var mean float64
+	for _, seed := range []int64{1, 2} {
+		cfg := cluster.Config{
+			Seed: seed, Topo: netem.ScaledTestbed(1.0, 4),
+			Scheme: cluster.SchemeCloveECN, AsymmetricFailure: true,
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		c := cluster.New(cfg)
+		c.RunWebSearch(cluster.WebSearchParams{
+			Load: 0.7, TotalJobs: 1000, SizeScale: 0.1, MaxSimTime: 300 * sim.Second,
+		})
+		mean += c.Recorder.Mean() / 2
+	}
+	return mean
+}
+
+// BenchmarkAblationBeta sweeps the weight-reduction fraction (Sec. 3.2
+// suggests "e.g., by a third").
+func BenchmarkAblationBeta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, beta := range []float64{0.125, 1.0 / 3.0, 0.5} {
+			beta := beta
+			mean := ablationRun(b, func(cfg *cluster.Config) { cfg.Beta = beta })
+			b.ReportMetric(mean*1000, "msFCT:beta="+fmtFloat(beta))
+		}
+	}
+}
+
+// BenchmarkAblationRelayFreq sweeps the ECN relay interval around the
+// paper's RTT/2 recommendation.
+func BenchmarkAblationRelayFreq(b *testing.B) {
+	rtt := netem.BuildLeafSpine(sim.New(0), netem.ScaledTestbed(1.0, 4)).BaseRTT()
+	for i := 0; i < b.N; i++ {
+		for _, mult := range []float64{0.25, 0.5, 2, 4} {
+			mult := mult
+			mean := ablationRun(b, func(cfg *cluster.Config) {
+				cfg.RelayInterval = sim.Time(float64(rtt) * mult)
+			})
+			b.ReportMetric(mean*1000, "msFCT:relay="+fmtFloat(mult)+"xRTT")
+		}
+	}
+}
+
+// BenchmarkAblationPathCount sweeps the number of discovered disjoint paths
+// k (Sec. 3.1 picks k from the probe results).
+func BenchmarkAblationPathCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, k := range []int{2, 3, 4} {
+			k := k
+			mean := ablationRun(b, func(cfg *cluster.Config) { cfg.PathsK = k })
+			b.ReportMetric(mean*1000, "msFCT:k="+fmtInt(k))
+		}
+	}
+}
+
+// BenchmarkAblationFlowletGap reproduces the gap sensitivity at finer grain
+// than Fig. 6.
+func BenchmarkAblationFlowletGap(b *testing.B) {
+	rtt := netem.BuildLeafSpine(sim.New(0), netem.ScaledTestbed(1.0, 4)).BaseRTT()
+	for i := 0; i < b.N; i++ {
+		for _, mult := range []float64{0.5, 1, 2, 4} {
+			mult := mult
+			mean := ablationRun(b, func(cfg *cluster.Config) {
+				cfg.FlowletGap = sim.Time(float64(rtt) * mult)
+			})
+			b.ReportMetric(mean*1000, "msFCT:gap="+fmtFloat(mult)+"xRTT")
+		}
+	}
+}
+
+// BenchmarkAblationProberVsOracle verifies real traceroute discovery costs
+// nothing measurable vs the oracle installation.
+func BenchmarkAblationProberVsOracle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, prober := range []bool{false, true} {
+			prober := prober
+			mean := ablationRun(b, func(cfg *cluster.Config) { cfg.UseProber = prober })
+			name := "oracle"
+			if prober {
+				name = "prober"
+			}
+			b.ReportMetric(mean*1000, "msFCT:"+name)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: events per
+// second on a loaded fabric (engineering metric, not a paper figure).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := cluster.New(cluster.Config{
+			Seed: 1, Topo: netem.ScaledTestbed(1.0, 4), Scheme: cluster.SchemeCloveECN,
+		})
+		c.RunWebSearch(cluster.WebSearchParams{
+			Load: 0.5, TotalJobs: 500, SizeScale: 0.1, MaxSimTime: 300 * sim.Second,
+		})
+		b.ReportMetric(float64(c.Sim.Processed()), "events/run")
+	}
+}
+
+func fmtFloat(f float64) string {
+	switch {
+	case f == 0.125:
+		return "0.125"
+	case f == 0.25:
+		return "0.25"
+	case f == 0.5:
+		return "0.5"
+	case f == 1.0/3.0:
+		return "0.33"
+	default:
+		if f == float64(int(f)) {
+			return fmtInt(int(f))
+		}
+		return "x"
+	}
+}
+
+func fmtInt(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}

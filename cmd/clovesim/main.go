@@ -1,0 +1,92 @@
+// Command clovesim regenerates the paper's evaluation figures on the
+// packet-level simulator.
+//
+// Usage:
+//
+//	clovesim -fig 4b                 # one figure at the standard scale
+//	clovesim -fig all -scale quick   # everything, CI-sized
+//	clovesim -fig summary            # the paper's headline ratios
+//	clovesim -fig 8b -scale paper -v # full fidelity with progress
+//
+// Figures: 4b 4c 5a 5b 5c 6 7 8a 8b 9 (see DESIGN.md for the experiment
+// index), plus "summary" and "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"clove"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate (4b..9, summary, all)")
+		scale   = flag.String("scale", "standard", "run scale: quick | standard | paper")
+		load    = flag.Float64("load", 0.7, "network load for -fig summary")
+		verbose = flag.Bool("v", false, "stream per-run progress")
+
+		// Optional overrides on top of the chosen scale.
+		hosts     = flag.Int("hosts", 0, "override hosts per leaf")
+		jobs      = flag.Int("jobs", 0, "override total jobs per run")
+		sizeScale = flag.Float64("size-scale", 0, "override flow-size multiplier")
+		seeds     = flag.Int("seeds", 0, "override number of seeds (1..n)")
+	)
+	flag.Parse()
+
+	var sc clove.Scale
+	switch *scale {
+	case "quick":
+		sc = clove.QuickScale()
+	case "standard":
+		sc = clove.StandardScale()
+	case "paper":
+		sc = clove.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "clovesim: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *hosts > 0 {
+		sc.HostsPerLeaf = *hosts
+	}
+	if *jobs > 0 {
+		sc.TotalJobs = *jobs
+	}
+	if *sizeScale > 0 {
+		sc.SizeScale = *sizeScale
+	}
+	if *seeds > 0 {
+		sc.Seeds = sc.Seeds[:0]
+		for i := 1; i <= *seeds; i++ {
+			sc.Seeds = append(sc.Seeds, int64(i))
+		}
+	}
+
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+
+	run := func(id string) {
+		rows, err := clove.RunFigure(id, sc, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clovesim:", err)
+			os.Exit(2)
+		}
+		fmt.Print(clove.FormatRows(rows))
+	}
+
+	switch *fig {
+	case "summary":
+		fmt.Println(clove.RunSummary(sc, *load, progress))
+	case "all":
+		for _, id := range clove.FigureIDs() {
+			run(id)
+		}
+		fmt.Println(clove.RunSummary(sc, *load, progress))
+	default:
+		run(*fig)
+	}
+}

@@ -1,0 +1,72 @@
+package clove_test
+
+import (
+	"fmt"
+
+	"clove"
+)
+
+// ExampleNewCluster runs a small Clove-ECN deployment on the paper's
+// leaf-spine fabric and reports how many web-search jobs completed.
+func ExampleNewCluster() {
+	c := clove.NewCluster(clove.ClusterConfig{
+		Seed:   7,
+		Topo:   clove.ScaledTestbed(1.0, 4),
+		Scheme: clove.CloveECN,
+	})
+	res := c.RunWebSearch(clove.WebSearchParams{
+		Load:      0.4,
+		TotalJobs: 100,
+		SizeScale: 0.05,
+	})
+	fmt.Printf("completed %d jobs, timed out: %v\n", res.Completed, res.TimedOut)
+	// Output: completed 100 jobs, timed out: false
+}
+
+// ExampleNewCluster_incast drives the partition-aggregate workload.
+func ExampleNewCluster_incast() {
+	c := clove.NewCluster(clove.ClusterConfig{
+		Seed:   7,
+		Topo:   clove.ScaledTestbed(1.0, 4),
+		Scheme: clove.EdgeFlowlet,
+	})
+	res := c.RunIncast(clove.IncastParams{
+		Fanout:        3,
+		ResponseBytes: 300_000,
+		Requests:      4,
+	})
+	fmt.Printf("requests served: %d\n", res.Completed)
+	// Output: requests served: 4
+}
+
+// ExampleNewEndpoint shows the real userspace datapath: an endpoint binds
+// one UDP socket per ECMP path.
+func ExampleNewEndpoint() {
+	cfg := clove.DefaultEndpointConfig()
+	cfg.Paths = 4
+	ep, err := clove.NewEndpoint("127.0.0.1", cfg)
+	if err != nil {
+		fmt.Println("bind failed:", err)
+		return
+	}
+	defer ep.Close()
+	fmt.Printf("paths bound: %d\n", len(ep.Ports()))
+	// Output: paths bound: 4
+}
+
+// ExampleSchemes lists every load-balancing scheme the simulator hosts.
+func ExampleSchemes() {
+	for _, s := range clove.Schemes() {
+		fmt.Println(s)
+	}
+	// Output:
+	// ecmp
+	// edge-flowlet
+	// clove-ecn
+	// clove-int
+	// presto
+	// mptcp
+	// conga
+	// letflow
+	// clove-latency
+}

@@ -1,0 +1,3 @@
+module clove
+
+go 1.22

@@ -1,0 +1,261 @@
+package clove
+
+import (
+	"math"
+
+	"clove/internal/sim"
+)
+
+// PathState is the per-(destination, encap source port) state kept by the
+// source hypervisor: the current WRR weight and the latest congestion /
+// utilization observations reflected by the destination hypervisor.
+type PathState struct {
+	Port          uint16
+	Weight        float64
+	LastCongested sim.Time // most recent ECN feedback for this path; 0 = never
+	Util          float64  // latest INT-reported max path utilization
+	UtilAt        sim.Time // when Util was reported; 0 = never
+}
+
+// WeightTableConfig parameterizes the congestion-reaction rule of Sec. 3.2.
+type WeightTableConfig struct {
+	// Beta is the fraction removed from a congested path's weight
+	// ("reduced by some predefined proportion, e.g., by a third").
+	Beta float64
+	// Floor is the minimum weight any path keeps, so that previously
+	// congested paths continue to be probed and can recover.
+	Floor float64
+	// CongestedAge is how long after an ECN report a path is still
+	// considered congested (for the redistribution rule and for deciding
+	// when to relay ECN to the sending VM).
+	CongestedAge sim.Time
+	// UtilAge is how long an INT utilization sample stays trusted; older
+	// samples decay toward zero (optimism re-probes quiet paths).
+	UtilAge sim.Time
+}
+
+// DefaultWeightTableConfig matches the paper's parameters: beta = 1/3,
+// congestion memory of a few RTTs.
+func DefaultWeightTableConfig(rtt sim.Time) WeightTableConfig {
+	return WeightTableConfig{
+		Beta:         1.0 / 3.0,
+		Floor:        0.02,
+		CongestedAge: 4 * rtt,
+		UtilAge:      8 * rtt,
+	}
+}
+
+// WeightTable is the source hypervisor's per-destination path table
+// (Fig. 2: "Path weight table"). It owns the WRR scheduler, applies the
+// Clove-ECN weight-adjustment rule on congestion feedback, records INT
+// utilization for Clove-INT, and survives topology transitions by carrying
+// state over to re-discovered port sets.
+type WeightTable struct {
+	cfg   WeightTableConfig
+	paths []PathState
+	wrr   *WRR
+}
+
+// NewWeightTable creates a table over the discovered ports with equal
+// weights.
+func NewWeightTable(cfg WeightTableConfig, ports []uint16) *WeightTable {
+	t := &WeightTable{cfg: cfg, wrr: NewWRR(nil)}
+	t.SetPorts(ports)
+	return t
+}
+
+// SetPorts installs a (re-)discovered port set. Per the paper's
+// optimization, state learned for a port that remains in the set is kept;
+// new ports start at the mean weight of the retained ones. Weights are then
+// renormalized.
+func (t *WeightTable) SetPorts(ports []uint16) {
+	old := map[uint16]PathState{}
+	for _, p := range t.paths {
+		old[p.Port] = p
+	}
+	mean := 1.0
+	if len(t.paths) > 0 {
+		var sum float64
+		kept := 0
+		for _, port := range ports {
+			if p, ok := old[port]; ok {
+				sum += p.Weight
+				kept++
+			}
+		}
+		if kept > 0 {
+			mean = sum / float64(kept)
+		}
+	}
+	t.paths = t.paths[:0]
+	for _, port := range ports {
+		if p, ok := old[port]; ok {
+			t.paths = append(t.paths, p)
+		} else {
+			t.paths = append(t.paths, PathState{Port: port, Weight: mean})
+		}
+	}
+	t.normalize()
+	t.syncWRR()
+}
+
+// Ports returns the current port set in table order.
+func (t *WeightTable) Ports() []uint16 {
+	out := make([]uint16, len(t.paths))
+	for i, p := range t.paths {
+		out[i] = p.Port
+	}
+	return out
+}
+
+// Len reports the number of paths.
+func (t *WeightTable) Len() int { return len(t.paths) }
+
+// Weights returns a snapshot map port -> weight.
+func (t *WeightTable) Weights() map[uint16]float64 {
+	m := make(map[uint16]float64, len(t.paths))
+	for _, p := range t.paths {
+		m[p.Port] = p.Weight
+	}
+	return m
+}
+
+// States returns a copy of the per-path state (tests, telemetry).
+func (t *WeightTable) States() []PathState { return append([]PathState(nil), t.paths...) }
+
+// NextPort returns the next flowlet's port per weighted round-robin.
+func (t *WeightTable) NextPort() uint16 { return t.wrr.Next() }
+
+// OnCongestion applies the Clove-ECN rule for ECN feedback on port at time
+// now: remove Beta of the path's weight and spread it equally over the
+// currently-uncongested other paths (over all other paths if none is
+// uncongested), then re-floor and renormalize.
+func (t *WeightTable) OnCongestion(port uint16, now sim.Time) {
+	idx := t.index(port)
+	if idx < 0 {
+		return
+	}
+	t.paths[idx].LastCongested = now
+
+	removed := t.paths[idx].Weight * t.cfg.Beta
+	t.paths[idx].Weight -= removed
+
+	var recipients []int
+	for i := range t.paths {
+		if i != idx && !t.congested(i, now) {
+			recipients = append(recipients, i)
+		}
+	}
+	if len(recipients) == 0 {
+		for i := range t.paths {
+			if i != idx {
+				recipients = append(recipients, i)
+			}
+		}
+	}
+	if len(recipients) == 0 {
+		// Single path: nothing to shift to; restore.
+		t.paths[idx].Weight += removed
+		return
+	}
+	share := removed / float64(len(recipients))
+	for _, i := range recipients {
+		t.paths[i].Weight += share
+	}
+	t.normalize()
+	t.syncWRR()
+}
+
+// OnUtilization records an INT utilization report for port.
+func (t *WeightTable) OnUtilization(port uint16, util float64, now sim.Time) {
+	if idx := t.index(port); idx >= 0 {
+		t.paths[idx].Util = util
+		t.paths[idx].UtilAt = now
+	}
+}
+
+// LeastUtilizedPort returns the port with the smallest current utilization
+// estimate (Clove-INT's proactive choice). Samples older than UtilAge count
+// as zero so that quiet paths get re-probed. Ties break by table order.
+func (t *WeightTable) LeastUtilizedPort(now sim.Time) uint16 {
+	if len(t.paths) == 0 {
+		panic("clove: LeastUtilizedPort on empty table")
+	}
+	best, bestUtil := 0, math.Inf(1)
+	for i := range t.paths {
+		u := t.effectiveUtil(i, now)
+		if u < bestUtil {
+			best, bestUtil = i, u
+		}
+	}
+	return t.paths[best].Port
+}
+
+// AllCongested reports whether every path has fresh congestion feedback —
+// the condition under which Clove stops masking ECN from the sending VM.
+func (t *WeightTable) AllCongested(now sim.Time) bool {
+	if len(t.paths) == 0 {
+		return false
+	}
+	for i := range t.paths {
+		if !t.congested(i, now) {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *WeightTable) congested(i int, now sim.Time) bool {
+	lc := t.paths[i].LastCongested
+	return lc > 0 && now-lc < t.cfg.CongestedAge
+}
+
+func (t *WeightTable) effectiveUtil(i int, now sim.Time) float64 {
+	if t.paths[i].UtilAt == 0 || now-t.paths[i].UtilAt > t.cfg.UtilAge {
+		return 0
+	}
+	return t.paths[i].Util
+}
+
+func (t *WeightTable) index(port uint16) int {
+	for i := range t.paths {
+		if t.paths[i].Port == port {
+			return i
+		}
+	}
+	return -1
+}
+
+// normalize clamps weights to the floor and rescales to sum 1.
+func (t *WeightTable) normalize() {
+	if len(t.paths) == 0 {
+		return
+	}
+	var sum float64
+	for i := range t.paths {
+		if t.paths[i].Weight < t.cfg.Floor {
+			t.paths[i].Weight = t.cfg.Floor
+		}
+		sum += t.paths[i].Weight
+	}
+	if sum <= 0 {
+		eq := 1.0 / float64(len(t.paths))
+		for i := range t.paths {
+			t.paths[i].Weight = eq
+		}
+		return
+	}
+	for i := range t.paths {
+		t.paths[i].Weight /= sum
+	}
+}
+
+func (t *WeightTable) syncWRR() {
+	ports := make([]uint16, len(t.paths))
+	weights := make([]float64, len(t.paths))
+	for i, p := range t.paths {
+		ports[i] = p.Port
+		weights[i] = p.Weight
+	}
+	t.wrr.Reset(ports, weights)
+}

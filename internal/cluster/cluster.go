@@ -1,0 +1,304 @@
+// Package cluster composes the full simulated deployment: the leaf–spine
+// fabric, one virtual switch per hypervisor running the selected
+// load-balancing scheme, path discovery, tenant TCP/MPTCP endpoints, and
+// the workload drivers (web-search load sweeps and incast) used by every
+// experiment in the paper.
+package cluster
+
+import (
+	"fmt"
+
+	"clove/internal/clove"
+	"clove/internal/conga"
+	"clove/internal/discovery"
+	"clove/internal/netem"
+	"clove/internal/packet"
+	"clove/internal/sim"
+	"clove/internal/stats"
+	"clove/internal/tcp"
+	"clove/internal/vswitch"
+)
+
+// Scheme selects the load-balancing algorithm under test.
+type Scheme string
+
+// The schemes evaluated in the paper (Secs. 5 and 6).
+const (
+	SchemeECMP        Scheme = "ecmp"
+	SchemeEdgeFlowlet Scheme = "edge-flowlet"
+	SchemeCloveECN    Scheme = "clove-ecn"
+	SchemeCloveINT    Scheme = "clove-int"
+	SchemePresto      Scheme = "presto"
+	SchemeMPTCP       Scheme = "mptcp"
+	SchemeCONGA       Scheme = "conga"
+	SchemeLetFlow     Scheme = "letflow"
+	// SchemeCloveLatency is the Sec. 7 extension: instead of ECN or INT,
+	// the destination hypervisor reflects measured one-way path latency
+	// (NIC timestamping + synchronized clocks), and new flowlets go to the
+	// currently-fastest path.
+	SchemeCloveLatency Scheme = "clove-latency"
+)
+
+// AllSchemes lists every scheme in presentation order (the paper's eight
+// plus the Sec. 7 latency-feedback extension).
+func AllSchemes() []Scheme {
+	return []Scheme{SchemeECMP, SchemeEdgeFlowlet, SchemeCloveECN, SchemeCloveINT,
+		SchemePresto, SchemeMPTCP, SchemeCONGA, SchemeLetFlow, SchemeCloveLatency}
+}
+
+// Config parameterizes a cluster.
+type Config struct {
+	Seed   int64
+	Topo   netem.LeafSpineConfig
+	Scheme Scheme
+
+	// FlowletGap overrides the flowlet inter-packet gap (default: 1x base
+	// RTT, the paper's best setting in Fig. 6).
+	FlowletGap sim.Time
+	// RelayInterval overrides the feedback relay spacing (default RTT/2).
+	RelayInterval sim.Time
+	// Beta overrides the weight-reduction fraction (default 1/3).
+	Beta float64
+	// CongestedAge overrides how long a path stays "congested" after ECN
+	// feedback (drives weight redistribution and ECN unmasking).
+	CongestedAge sim.Time
+	// UtilAge overrides how long INT utilization samples stay trusted.
+	UtilAge sim.Time
+	// PathsK is how many disjoint paths discovery selects (default 4).
+	PathsK int
+	// UseProber selects real traceroute discovery with periodic refresh;
+	// false uses the oracle enumeration (identical result, instant, for
+	// cheap benchmark setup).
+	UseProber bool
+	// ProbeInterval for periodic rediscovery when UseProber is set.
+	ProbeInterval sim.Time
+	// MPTCPSubflows for the MPTCP scheme (default 4, as deployed in Sec. 5).
+	MPTCPSubflows int
+	// PrestoIdealWeights grants Presto the statically-correct asymmetric
+	// path weights (Sec. 5.2 gives it this benefit of the doubt).
+	PrestoIdealWeights bool
+	// AsymmetricFailure takes the S2–L2 trunk down before traffic starts.
+	AsymmetricFailure bool
+	// AdaptiveFlowletGap lets the clove-latency scheme widen the flowlet
+	// gap with the measured path-delay spread (Sec. 7 extension).
+	AdaptiveFlowletGap bool
+	// TCP overrides the transport parameters (zero value = defaults).
+	TCP tcp.Config
+	// TenantECN gives tenant VM stacks RFC 3168 ECN response. Off by
+	// default: the paper's 2017 tenant stacks run loss-based TCP without
+	// ECN negotiation, and the fabric's ECN marks exist solely for the
+	// hypervisor's consumption. (DCTCP-style tenants are the paper's
+	// future-work discussion, reachable by setting this.)
+	TenantECN bool
+}
+
+// Cluster is a fully wired deployment ready to run workloads.
+type Cluster struct {
+	Cfg Config
+	Sim *sim.Simulator
+	LS  *netem.LeafSpine
+
+	VSwitches []*vswitch.VSwitch
+	Conga     *conga.Fabric
+	Probers   []*discovery.Prober
+	Recorder  *stats.FCTRecorder
+
+	rtt      sim.Time
+	tcpCfg   tcp.Config
+	conns    map[connKey]*Conn
+	nextPort uint16
+}
+
+type connKey struct {
+	client, server packet.HostID
+	idx            int
+}
+
+// New builds the cluster: topology, vswitches with the scheme's policy, and
+// (for CONGA) the in-network fabric. Link failure, if configured, is applied
+// before routing converges, as in the paper's asymmetric experiments.
+func New(cfg Config) *Cluster {
+	if cfg.Topo.Leaves == 0 {
+		cfg.Topo = netem.PaperTestbed(0.01)
+	}
+	if cfg.PathsK == 0 {
+		cfg.PathsK = 4
+	}
+	if cfg.MPTCPSubflows == 0 {
+		cfg.MPTCPSubflows = tcp.DefaultSubflows
+	}
+	s := sim.New(cfg.Seed)
+	ls := netem.BuildLeafSpine(s, cfg.Topo)
+	c := &Cluster{
+		Cfg:      cfg,
+		Sim:      s,
+		LS:       ls,
+		Recorder: &stats.FCTRecorder{},
+		rtt:      ls.BaseRTT(),
+		conns:    map[connKey]*Conn{},
+		nextPort: 10000,
+	}
+	// Defaults match the paper's best settings (Fig. 6): flowlet gap of one
+	// network RTT, feedback relay every half RTT (Sec. 3.2). The Fig. 6
+	// parameter scan on this simulator reproduces the same optimum.
+	if cfg.FlowletGap == 0 {
+		c.Cfg.FlowletGap = c.rtt
+	}
+	if cfg.RelayInterval == 0 {
+		c.Cfg.RelayInterval = c.rtt / 2
+	}
+	if cfg.Beta == 0 {
+		c.Cfg.Beta = 1.0 / 3.0
+	}
+	c.tcpCfg = cfg.TCP
+	if c.tcpCfg.MSS == 0 {
+		c.tcpCfg = tcp.DefaultConfig()
+	}
+	c.tcpCfg.ECN = cfg.TenantECN
+
+	if cfg.AsymmetricFailure {
+		ls.FailPaperLink()
+	}
+
+	vcfg := vswitch.Config{
+		EncapDstPort:       7471,
+		FlowletGap:         c.Cfg.FlowletGap,
+		RelayInterval:      c.Cfg.RelayInterval,
+		StandaloneFeedback: true,
+	}
+	switch cfg.Scheme {
+	case SchemeCloveECN, SchemeCloveINT:
+		vcfg.MaskECN = true
+		vcfg.RequestINT = cfg.Scheme == SchemeCloveINT
+	case SchemeCloveLatency:
+		vcfg.MaskECN = true
+		vcfg.MeasureLatency = true
+		vcfg.AdaptiveFlowletGap = cfg.AdaptiveFlowletGap
+	default:
+		vcfg.MaskECN = false
+	}
+
+	// Weight-table timescales key off the base RTT: congestion memory of a
+	// few unloaded RTTs reacts at feedback timescales without smearing
+	// stale state over the (longer) flowlet timescale.
+	wtCfg := clove.DefaultWeightTableConfig(c.rtt)
+	wtCfg.Beta = c.Cfg.Beta
+	if cfg.CongestedAge > 0 {
+		wtCfg.CongestedAge = cfg.CongestedAge
+	}
+	if cfg.UtilAge > 0 {
+		wtCfg.UtilAge = cfg.UtilAge
+	}
+
+	for i, h := range ls.Hosts() {
+		var pol vswitch.PathPolicy
+		switch cfg.Scheme {
+		case SchemeECMP, SchemeMPTCP, SchemeCONGA, SchemeLetFlow:
+			pol = vswitch.NewECMP()
+		case SchemeEdgeFlowlet:
+			pol = vswitch.NewEdgeFlowlet()
+		case SchemeCloveECN:
+			pol = vswitch.NewCloveECN(wtCfg)
+		case SchemeCloveINT, SchemeCloveLatency:
+			// Both are "least reflected metric" policies: INT stamps max
+			// link utilization; the latency variant reflects one-way delay.
+			pol = vswitch.NewCloveINT(wtCfg, s.Now)
+		case SchemePresto:
+			pol = vswitch.NewPresto(s)
+		default:
+			panic(fmt.Sprintf("cluster: unknown scheme %q", cfg.Scheme))
+		}
+		_ = i
+		c.VSwitches = append(c.VSwitches, vswitch.New(s, h, vcfg, pol))
+	}
+
+	switch cfg.Scheme {
+	case SchemeCONGA:
+		// Hardware flowlet detection runs at a finer timescale than the
+		// software edge (the CONGA ASIC reroutes within a fraction of an
+		// RTT); a quarter of the edge gap reproduces its advantage.
+		c.Conga = conga.Attach(s, ls, conga.Config{FlowletGap: c.Cfg.FlowletGap / 4})
+	case SchemeLetFlow:
+		attachLetFlow(s, ls, c.Cfg.FlowletGap)
+	}
+	return c
+}
+
+// RTT returns the unloaded base round-trip time of the fabric.
+func (c *Cluster) RTT() sim.Time { return c.rtt }
+
+// needsPaths reports whether the scheme consumes discovered path sets.
+func (c *Cluster) needsPaths() bool {
+	switch c.Cfg.Scheme {
+	case SchemeCloveECN, SchemeCloveINT, SchemeCloveLatency, SchemePresto:
+		return true
+	}
+	return false
+}
+
+// SetupPaths installs path sets for every (src, dst) pair that will carry
+// traffic, using either the oracle enumeration or the traceroute prober.
+func (c *Cluster) SetupPaths(pairs [][2]packet.HostID) {
+	if !c.needsPaths() {
+		return
+	}
+	if c.Cfg.UseProber {
+		dcfg := discovery.DefaultConfig(c.rtt)
+		dcfg.K = c.Cfg.PathsK
+		if c.Cfg.ProbeInterval > 0 {
+			dcfg.Interval = c.Cfg.ProbeInterval
+		}
+		bySrc := map[packet.HostID][]packet.HostID{}
+		for _, p := range pairs {
+			bySrc[p[0]] = append(bySrc[p[0]], p[1])
+		}
+		for src, dsts := range bySrc {
+			pr := discovery.NewProber(c.Sim, c.VSwitches[src], dcfg)
+			if c.Cfg.Scheme == SchemePresto && c.Cfg.PrestoIdealWeights {
+				pr.OnPaths = func(dst packet.HostID, ports []uint16, paths []discovery.Path) {
+					c.installPrestoWeights(src, dst, ports, paths)
+				}
+			}
+			pr.Start(dsts)
+			c.Probers = append(c.Probers, pr)
+		}
+		return
+	}
+	for _, p := range pairs {
+		c.oracleInstall(p[0], p[1])
+	}
+}
+
+// installPrestoWeights derives the ideal static weights from path link
+// overlap: a path's weight is inversely proportional to the number of
+// selected paths sharing its most-shared link. On the paper's asymmetric
+// topology this yields exactly (0.33, 0.33, 0.17, 0.17).
+func (c *Cluster) installPrestoWeights(src, dst packet.HostID, ports []uint16, paths []discovery.Path) {
+	use := map[packet.LinkID]int{}
+	for _, p := range paths {
+		for _, l := range fabricLinks(p.Links) {
+			use[l]++
+		}
+	}
+	weights := map[uint16]float64{}
+	for _, p := range paths {
+		maxShare := 1
+		for _, l := range fabricLinks(p.Links) {
+			if use[l] > maxShare {
+				maxShare = use[l]
+			}
+		}
+		weights[p.Port] = 1.0 / float64(maxShare)
+	}
+	pol := c.VSwitches[src].Policy().(*vswitch.Presto)
+	pol.SetStaticWeights(dst, weights)
+	pol.SetPaths(dst, ports)
+}
+
+// fabricLinks drops the terminal leaf->host downlink every path shares.
+func fabricLinks(links []packet.LinkID) []packet.LinkID {
+	if len(links) <= 1 {
+		return links
+	}
+	return links[:len(links)-1]
+}

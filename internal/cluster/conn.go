@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"clove/internal/packet"
+	"clove/internal/sim"
+	"clove/internal/tcp"
+)
+
+// Conn is one persistent application connection from a client VM to a
+// server VM: a TCP (or MPTCP) sender on the client plus receiver(s) on the
+// server, wired through both hypervisors' virtual switches.
+type Conn struct {
+	Client, Server packet.HostID
+	Flow           packet.FiveTuple
+
+	snd *tcp.Sender
+	mp  *tcp.MPSender
+}
+
+// OpenConn establishes the idx-th persistent connection between client and
+// server (connections are cached per (client, server, idx)). Under the
+// MPTCP scheme the connection carries the configured number of subflows.
+func (c *Cluster) OpenConn(client, server packet.HostID, idx int) *Conn {
+	key := connKey{client, server, idx}
+	if conn, ok := c.conns[key]; ok {
+		return conn
+	}
+	sp := c.nextPort
+	c.nextPort += uint16(c.Cfg.MPTCPSubflows) + 1
+	flow := packet.FiveTuple{
+		Src: client, Dst: server,
+		SrcPort: sp, DstPort: 80,
+		Proto: packet.ProtoTCP,
+	}
+	conn := &Conn{Client: client, Server: server, Flow: flow}
+	cvs, svs := c.VSwitches[client], c.VSwitches[server]
+
+	if c.Cfg.Scheme == SchemeMPTCP {
+		mp := tcp.NewMPSender(c.Sim, c.tcpCfg, flow, c.Cfg.MPTCPSubflows, cvs.FromVM)
+		for _, sub := range mp.Subflows() {
+			sf := sub.Flow()
+			rcv := tcp.NewReceiver(c.Sim, c.tcpCfg, sf, svs.FromVM)
+			svs.Register(sf, rcv.HandleData)
+			cvs.Register(sf.Reverse(), mp.HandleAck)
+		}
+		conn.mp = mp
+	} else {
+		snd := tcp.NewSender(c.Sim, c.tcpCfg, flow, cvs.FromVM)
+		rcv := tcp.NewReceiver(c.Sim, c.tcpCfg, flow, svs.FromVM)
+		svs.Register(flow, rcv.HandleData)
+		cvs.Register(flow.Reverse(), snd.HandleAck)
+		conn.snd = snd
+	}
+	c.conns[key] = conn
+	return conn
+}
+
+// TransportStats sums sender-side transport counters across all open
+// connections (diagnostics: retransmission and timeout pressure).
+func (c *Cluster) TransportStats() tcp.SenderStats {
+	var agg tcp.SenderStats
+	add := func(s tcp.SenderStats) {
+		agg.SegmentsSent += s.SegmentsSent
+		agg.Retransmits += s.Retransmits
+		agg.FastRetransmits += s.FastRetransmits
+		agg.Timeouts += s.Timeouts
+		agg.ECNReductions += s.ECNReductions
+		agg.BytesAcked += s.BytesAcked
+	}
+	for _, conn := range c.conns {
+		if conn.mp != nil {
+			for _, sub := range conn.mp.Subflows() {
+				add(sub.Stats())
+			}
+			continue
+		}
+		add(conn.snd.Stats())
+	}
+	return agg
+}
+
+// StartJob sends size bytes on the connection; done fires with the job
+// completion time (measured from now, queueing included).
+func (conn *Conn) StartJob(size int64, done func(fct sim.Time)) {
+	if conn.mp != nil {
+		conn.mp.StartJob(size, done)
+		return
+	}
+	conn.snd.StartJob(size, done)
+}

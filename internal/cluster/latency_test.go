@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"testing"
+
+	"clove/internal/netem"
+	"clove/internal/packet"
+	"clove/internal/sim"
+	"clove/internal/vswitch"
+)
+
+func TestCloveLatencyLearnsDelays(t *testing.T) {
+	c := New(Config{
+		Seed: 21, Topo: smallTopo(), Scheme: SchemeCloveLatency,
+		AsymmetricFailure: true,
+	})
+	res := c.RunWebSearch(WebSearchParams{
+		Load: 0.6, TotalJobs: 400, SizeScale: 0.1, MaxSimTime: 300 * sim.Second,
+	})
+	if res.Completed == 0 || res.TimedOut {
+		t.Fatalf("clove-latency run failed: %+v", res)
+	}
+	// The source tables must hold reflected delay metrics.
+	pol := c.VSwitches[0].Policy().(*vswitch.CloveINT)
+	sawMetric := false
+	for dst := 4; dst < 8; dst++ {
+		tbl := pol.Table(packet.HostID(dst))
+		if tbl == nil {
+			continue
+		}
+		for _, st := range tbl.States() {
+			if st.UtilAt > 0 && st.Util > 0 {
+				sawMetric = true
+				// Reflected delays on this fabric are tens of microseconds
+				// to a few milliseconds; a value outside that means the
+				// timestamp math is broken.
+				if st.Util < 1e-6 || st.Util > 1 {
+					t.Errorf("implausible reflected delay %v s", st.Util)
+				}
+			}
+		}
+	}
+	if !sawMetric {
+		t.Error("no delay metrics reached any weight table")
+	}
+}
+
+func TestCloveLatencyCompetitiveWithCloveECN(t *testing.T) {
+	run := func(scheme Scheme) float64 {
+		var mean float64
+		for _, seed := range []int64{1, 2} {
+			c := New(Config{
+				Seed: seed, Topo: netem.ScaledTestbed(1.0, 4), Scheme: scheme,
+				AsymmetricFailure: true,
+			})
+			c.RunWebSearch(WebSearchParams{
+				Load: 0.7, TotalJobs: 1000, SizeScale: 0.1, MaxSimTime: 300 * sim.Second,
+			})
+			mean += c.Recorder.Mean() / 2
+		}
+		return mean
+	}
+	ecmp := run(SchemeECMP)
+	lat := run(SchemeCloveLatency)
+	t.Logf("asym 70%%: ecmp=%.4fs clove-latency=%.4fs", ecmp, lat)
+	if lat >= ecmp {
+		t.Errorf("clove-latency (%.4fs) not better than ECMP (%.4fs) under asymmetry", lat, ecmp)
+	}
+}
+
+func TestAdaptiveFlowletGapWidens(t *testing.T) {
+	c := New(Config{
+		Seed: 22, Topo: smallTopo(), Scheme: SchemeCloveLatency,
+		AsymmetricFailure: true, AdaptiveFlowletGap: true,
+	})
+	base := c.Cfg.FlowletGap
+	res := c.RunWebSearch(WebSearchParams{
+		Load: 0.7, TotalJobs: 600, SizeScale: 0.1, MaxSimTime: 300 * sim.Second,
+	})
+	if res.Completed == 0 {
+		t.Fatal("no jobs completed")
+	}
+	widened := false
+	for _, v := range c.VSwitches {
+		if v.FlowletGap() > base {
+			widened = true
+		}
+		if v.FlowletGap() < base {
+			t.Errorf("adaptive gap shrank below base: %v < %v", v.FlowletGap(), base)
+		}
+	}
+	if !widened {
+		t.Error("no vswitch widened its gap despite congested paths")
+	}
+}
+
+func TestAdaptiveGapOffStaysAtBase(t *testing.T) {
+	c := New(Config{
+		Seed: 23, Topo: smallTopo(), Scheme: SchemeCloveLatency,
+		AsymmetricFailure: true, // AdaptiveFlowletGap off
+	})
+	c.RunWebSearch(WebSearchParams{
+		Load: 0.7, TotalJobs: 300, SizeScale: 0.1, MaxSimTime: 300 * sim.Second,
+	})
+	for _, v := range c.VSwitches {
+		if v.FlowletGap() != c.Cfg.FlowletGap {
+			t.Errorf("gap moved without adaptation enabled: %v", v.FlowletGap())
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package datapath
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pair creates two endpoints tunnelling directly to each other (no
+// emulator): a's traffic targets b's path-0 port and vice versa.
+func pair(t *testing.T, cfg Config) (*Endpoint, *Endpoint) {
+	t.Helper()
+	a, err := NewEndpoint("127.0.0.1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEndpoint("127.0.0.1", cfg)
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	if err := a.Start(fmt.Sprintf("127.0.0.1:%d", b.Ports()[0])); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(fmt.Sprintf("127.0.0.1:%d", a.Ports()[0])); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestEndpointDelivery(t *testing.T) {
+	a, b := pair(t, DefaultConfig())
+	var got atomic.Int64
+	var mu sync.Mutex
+	var last []byte
+	b.SetOnRecv(func(p []byte) {
+		mu.Lock()
+		last = p
+		mu.Unlock()
+		got.Add(1)
+	})
+	msg := []byte("hello through the overlay")
+	for i := 0; i < 10; i++ {
+		if err := a.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 2*time.Second, func() bool { return got.Load() == 10 }, "delivery")
+	mu.Lock()
+	defer mu.Unlock()
+	if string(last) != string(msg) {
+		t.Errorf("payload corrupted: %q", last)
+	}
+	if a.Stats().Sent != 10 {
+		t.Errorf("sent = %d", a.Stats().Sent)
+	}
+}
+
+func TestEndpointFlowletSplitting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlowletGap = time.Millisecond
+	a, b := pair(t, cfg)
+	b.SetOnRecv(func([]byte) {})
+	// Two bursts separated by > gap: at least 2 flowlets.
+	for i := 0; i < 5; i++ {
+		a.Send([]byte("x"))
+	}
+	time.Sleep(5 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		a.Send([]byte("x"))
+	}
+	if fl := a.Stats().Flowlets; fl < 2 {
+		t.Errorf("flowlets = %d, want >= 2", fl)
+	}
+}
+
+func TestEndpointRejectsZeroPaths(t *testing.T) {
+	if _, err := NewEndpoint("127.0.0.1", Config{Paths: 0}); err == nil {
+		t.Error("zero-path endpoint created")
+	}
+}
+
+func TestFeedbackShiftsWeightsThroughEmulator(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Paths = 2
+	cfg.FlowletGap = 200 * time.Microsecond
+	cfg.RelayInterval = 100 * time.Microsecond
+
+	// Receiver first (emulator needs its address).
+	recv, err := NewEndpoint("127.0.0.1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	// One clean path and one that marks CE aggressively.
+	emu, err := NewPathEmulator("127.0.0.1",
+		fmt.Sprintf("127.0.0.1:%d", recv.Ports()[0]),
+		[]PathProfile{
+			{},                                // path for the first-seen sender port: clean
+			{ECNDepth: 1, RateBps: 5_000_000}, // second port: slow and marking
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer emu.Close()
+
+	snd, err := NewEndpoint("127.0.0.1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+
+	// Sender's forward traffic goes through the emulator; receiver's
+	// reverse traffic (feedback carrier) goes directly back to the sender.
+	if err := snd.Start(emu.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.Start(fmt.Sprintf("127.0.0.1:%d", snd.Ports()[0])); err != nil {
+		t.Fatal(err)
+	}
+	recv.SetOnRecv(func([]byte) {})
+	snd.SetOnRecv(func([]byte) {})
+
+	payload := make([]byte, 1200)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // forward traffic
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				snd.Send(payload)
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+	go func() { // reverse keepalives carry the feedback
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				recv.Keepalive()
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+
+	waitFor(t, 5*time.Second, func() bool {
+		return snd.Stats().FeedbackReceived > 3
+	}, "feedback arrival at sender")
+	close(stop)
+	wg.Wait()
+
+	if recv.Stats().CEObserved == 0 {
+		t.Fatal("receiver observed no CE marks")
+	}
+	w := snd.Weights()
+	var minW, maxW = 1.0, 0.0
+	for _, x := range w {
+		if x < minW {
+			minW = x
+		}
+		if x > maxW {
+			maxW = x
+		}
+	}
+	if maxW-minW < 0.05 {
+		t.Errorf("weights did not shift away from the marked path: %v", w)
+	}
+}
+
+func TestEmulatorPreservesPayload(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Paths = 2
+	recv, err := NewEndpoint("127.0.0.1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	emu, err := NewPathEmulator("127.0.0.1",
+		fmt.Sprintf("127.0.0.1:%d", recv.Ports()[0]),
+		[]PathProfile{{Delay: time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer emu.Close()
+	snd, err := NewEndpoint("127.0.0.1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+	if err := snd.Start(emu.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	var got atomic.Int64
+	recv.SetOnRecv(func(p []byte) {
+		if len(p) == 999 {
+			got.Add(1)
+		}
+	})
+	if err := recv.Start(fmt.Sprintf("127.0.0.1:%d", snd.Ports()[0])); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		snd.Send(make([]byte, 999))
+	}
+	waitFor(t, 2*time.Second, func() bool { return got.Load() == 5 }, "emulated delivery")
+}
+
+func TestEndpointDecodeErrorCounted(t *testing.T) {
+	a, _ := pair(t, DefaultConfig())
+	a.handle([]byte{1, 2, 3}, nil)
+	if a.Stats().DecodeErrors != 1 {
+		t.Error("decode error not counted")
+	}
+}
+
+func TestProbePathsMeasuresRTT(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Paths = 2
+	recv, err := NewEndpoint("127.0.0.1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	// Path for the 2nd-seen port is slow (5ms added delay).
+	emu, err := NewPathEmulator("127.0.0.1",
+		fmt.Sprintf("127.0.0.1:%d", recv.Ports()[0]),
+		[]PathProfile{
+			{Delay: 100 * time.Microsecond},
+			{Delay: 5 * time.Millisecond},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer emu.Close()
+	snd, err := NewEndpoint("127.0.0.1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+	if err := snd.Start(emu.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.Start(fmt.Sprintf("127.0.0.1:%d", snd.Ports()[0])); err != nil {
+		t.Fatal(err)
+	}
+	recv.SetOnRecv(func([]byte) {})
+	snd.SetOnRecv(func([]byte) {})
+
+	// Warm both emulated paths deterministically (profile assignment is by
+	// first appearance), then probe repeatedly.
+	for i := 0; i < 4; i++ {
+		snd.ProbePaths()
+		time.Sleep(10 * time.Millisecond)
+	}
+	waitFor(t, 5*time.Second, func() bool { return snd.Stats().ProbeEchoes >= 2 }, "probe echoes")
+
+	rtts := snd.PathRTTs()
+	if len(rtts) != 2 {
+		t.Fatalf("rtts = %v", rtts)
+	}
+	var fast, slow time.Duration
+	for _, r := range rtts {
+		if r.Samples == 0 {
+			t.Fatalf("path %d never measured", r.Port)
+		}
+		if fast == 0 || r.RTT < fast {
+			fast = r.RTT
+		}
+		if r.RTT > slow {
+			slow = r.RTT
+		}
+	}
+	if slow < fast+2*time.Millisecond {
+		t.Errorf("slow path RTT %v not clearly above fast %v", slow, fast)
+	}
+	if recv.Stats().ProbesAnswered == 0 {
+		t.Error("receiver answered no probes")
+	}
+}

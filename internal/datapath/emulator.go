@@ -1,0 +1,184 @@
+package datapath
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// PathEmulator is an in-process stand-in for an ECMP fabric, used by tests
+// and the realnet example: it listens on one UDP ingress, classifies each
+// datagram by the sender's path (the shim-restated source port, exactly
+// what a real ECMP hash keys on), and forwards it to the configured
+// destination through a per-path token-bucket queue with its own rate,
+// delay, and ECN-marking threshold. A congested emulated path marks the
+// datagram's fabric byte the way a switch would mark the outer IP header.
+type PathEmulator struct {
+	ingress *net.UDPConn
+	out     *net.UDPConn
+	dest    *net.UDPAddr
+
+	mu    sync.Mutex
+	paths map[uint16]*emuPath // keyed by sender path port
+	// pathFor assigns an emulated path index to each new sender port.
+	nextIdx  int
+	profiles []PathProfile
+
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// PathProfile shapes one emulated path.
+type PathProfile struct {
+	RateBps  int64         // token rate; 0 = unlimited
+	Delay    time.Duration // added one-way delay
+	ECNDepth int           // queue depth (packets) beyond which CE is set; 0 = never
+	QueueCap int           // drop-tail bound; 0 = 256
+	Drop     float64       // random loss probability (0..1) — not used by default
+}
+
+// emuPath is the runtime queue for one path.
+type emuPath struct {
+	profile PathProfile
+	queue   chan []byte
+	depth   int
+	mu      sync.Mutex
+}
+
+// NewPathEmulator creates an emulator with one queue per profile; sender
+// ports are assigned to profiles round-robin in order of first appearance
+// (deterministic for a fixed send pattern).
+func NewPathEmulator(localIP string, dest string, profiles []PathProfile) (*PathEmulator, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("datapath: emulator needs at least one path profile")
+	}
+	ingress, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.ParseIP(localIP)})
+	if err != nil {
+		return nil, fmt.Errorf("datapath: emulator ingress: %w", err)
+	}
+	out, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.ParseIP(localIP)})
+	if err != nil {
+		ingress.Close()
+		return nil, fmt.Errorf("datapath: emulator egress: %w", err)
+	}
+	destAddr, err := net.ResolveUDPAddr("udp", dest)
+	if err != nil {
+		ingress.Close()
+		out.Close()
+		return nil, fmt.Errorf("datapath: emulator dest: %w", err)
+	}
+	e := &PathEmulator{
+		ingress:  ingress,
+		out:      out,
+		dest:     destAddr,
+		paths:    map[uint16]*emuPath{},
+		profiles: profiles,
+		closed:   make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go e.run()
+	return e, nil
+}
+
+// Addr returns the emulator's ingress address (point endpoints here).
+func (e *PathEmulator) Addr() string { return e.ingress.LocalAddr().String() }
+
+// run receives and dispatches datagrams to per-path queues.
+func (e *PathEmulator) run() {
+	defer e.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := e.ingress.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-e.closed:
+				return
+			default:
+				continue
+			}
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		e.dispatch(pkt)
+	}
+}
+
+// pathPortOf extracts the sender's path port from the datagram (fabric byte
+// + shim at fixed offset 16 within the shim).
+func pathPortOf(pkt []byte) uint16 {
+	if len(pkt) < headerLen {
+		return 0
+	}
+	return uint16(pkt[1+16])<<8 | uint16(pkt[1+17])
+}
+
+func (e *PathEmulator) dispatch(pkt []byte) {
+	port := pathPortOf(pkt)
+	e.mu.Lock()
+	p := e.paths[port]
+	if p == nil {
+		profile := e.profiles[e.nextIdx%len(e.profiles)]
+		e.nextIdx++
+		cap := profile.QueueCap
+		if cap == 0 {
+			cap = 256
+		}
+		p = &emuPath{profile: profile, queue: make(chan []byte, cap)}
+		e.paths[port] = p
+		e.wg.Add(1)
+		go e.drain(p)
+	}
+	e.mu.Unlock()
+
+	p.mu.Lock()
+	if p.profile.ECNDepth > 0 && p.depth >= p.profile.ECNDepth && len(pkt) > 0 {
+		pkt[0] |= fabricCE // mark like a switch whose queue exceeds K
+	}
+	p.mu.Unlock()
+
+	select {
+	case p.queue <- pkt:
+		p.mu.Lock()
+		p.depth++
+		p.mu.Unlock()
+	default:
+		// drop-tail
+	}
+}
+
+// drain serializes one path's queue at its configured rate and delay.
+func (e *PathEmulator) drain(p *emuPath) {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.closed:
+			return
+		case pkt := <-p.queue:
+			p.mu.Lock()
+			p.depth--
+			p.mu.Unlock()
+			if p.profile.RateBps > 0 {
+				tx := time.Duration(int64(len(pkt)) * 8 * int64(time.Second) / p.profile.RateBps)
+				time.Sleep(tx)
+			}
+			if p.profile.Delay > 0 {
+				time.Sleep(p.profile.Delay)
+			}
+			e.out.WriteToUDP(pkt, e.dest)
+		}
+	}
+}
+
+// Close shuts the emulator down.
+func (e *PathEmulator) Close() error {
+	select {
+	case <-e.closed:
+	default:
+		close(e.closed)
+	}
+	e.ingress.Close()
+	e.out.Close()
+	e.wg.Wait()
+	return nil
+}

@@ -1,0 +1,367 @@
+// Package datapath is the deployable userspace realization of Clove: tunnel
+// endpoints over real UDP sockets that steer traffic across ECMP paths by
+// varying the outer source port (one bound socket per discovered path),
+// split the stream into flowlets, reflect congestion feedback in the shim
+// header of reverse traffic, and adapt per-path weights exactly as the
+// simulator's Clove-ECN does (the weight logic is shared code from
+// internal/clove).
+//
+// What the paper's OVS datapath gets from the fabric — outer-header ECN
+// marks — a userspace process cannot portably observe on a UDP socket, so
+// each datagram carries a one-byte fabric prefix standing in for the outer
+// IP ECN field; the PathEmulator (and any Clove-aware middle hop) marks it
+// under queueing. DESIGN.md documents this substitution.
+package datapath
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"clove/internal/clove"
+	"clove/internal/sim"
+	"clove/internal/wire"
+)
+
+// fabric prefix bits (stand-in for the outer IP ECN codepoint).
+const (
+	fabricECT = 1 << 0
+	fabricCE  = 1 << 1
+)
+
+// headerLen is the datagram overhead: fabric byte + shim.
+const headerLen = 1 + wire.SttShimLen
+
+// shim version for this datapath.
+const shimVersion = 1
+
+// shim Flags bit marking a keepalive/feedback-only datagram.
+const shimFlagBare = 1 << 5
+
+// Config parameterizes an endpoint.
+type Config struct {
+	// Paths is the number of distinct outer source ports (= sockets) used.
+	Paths int
+	// FlowletGap splits the outgoing stream into flowlets.
+	FlowletGap time.Duration
+	// RelayInterval rate-limits feedback relays per path.
+	RelayInterval time.Duration
+	// Beta is the weight reduction on congestion feedback.
+	Beta float64
+}
+
+// DefaultConfig returns LAN-scale defaults.
+func DefaultConfig() Config {
+	return Config{
+		Paths:         4,
+		FlowletGap:    500 * time.Microsecond,
+		RelayInterval: 250 * time.Microsecond,
+		Beta:          1.0 / 3.0,
+	}
+}
+
+// Stats counts endpoint activity.
+type Stats struct {
+	Sent, Received   int64
+	CEObserved       int64
+	FeedbackSent     int64
+	FeedbackReceived int64
+	Flowlets         int64
+	DecodeErrors     int64
+	ProbesSent       int64
+	ProbesAnswered   int64
+	ProbeEchoes      int64
+}
+
+// Endpoint is one side of a Clove tunnel.
+type Endpoint struct {
+	cfg    Config
+	conns  []*net.UDPConn
+	ports  []uint16 // local source ports, one per path
+	remote *net.UDPAddr
+
+	mu       sync.Mutex
+	onRecv   func(payload []byte)
+	weights  *clove.WeightTable
+	start    time.Time
+	lastSend time.Time
+	curPort  uint16
+	flowlet  uint32
+	// receiver-side observations of the peer's forward paths.
+	obs   map[uint16]*obsEntry
+	stats Stats
+
+	// path-quality probing (ProbePaths).
+	probeSeq uint32
+	probes   map[uint32]probeState
+	rtts     map[uint16]*rttSample
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+type obsEntry struct {
+	pendingECN bool
+	lastRelay  time.Time
+}
+
+// NewEndpoint creates an endpoint bound to cfg.Paths UDP sockets on
+// localIP (use "127.0.0.1" for loopback tests; port 0 picks free ports).
+func NewEndpoint(localIP string, cfg Config) (*Endpoint, error) {
+	if cfg.Paths <= 0 {
+		return nil, fmt.Errorf("datapath: need at least one path, got %d", cfg.Paths)
+	}
+	e := &Endpoint{
+		cfg:    cfg,
+		obs:    map[uint16]*obsEntry{},
+		start:  time.Now(),
+		closed: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Paths; i++ {
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.ParseIP(localIP)})
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("datapath: bind path %d: %w", i, err)
+		}
+		e.conns = append(e.conns, conn)
+		e.ports = append(e.ports, uint16(conn.LocalAddr().(*net.UDPAddr).Port))
+	}
+	wcfg := clove.WeightTableConfig{
+		Beta:         cfg.Beta,
+		Floor:        0.02,
+		CongestedAge: sim.FromDuration(4 * cfg.RelayInterval),
+		UtilAge:      sim.FromDuration(8 * cfg.RelayInterval),
+	}
+	e.weights = clove.NewWeightTable(wcfg, e.ports)
+	return e, nil
+}
+
+// SetOnRecv installs the handler for decapsulated tenant payloads. Safe to
+// call at any time, including after Start.
+func (e *Endpoint) SetOnRecv(fn func(payload []byte)) {
+	e.mu.Lock()
+	e.onRecv = fn
+	e.mu.Unlock()
+}
+
+// Ports returns the endpoint's local source ports (its path identifiers).
+func (e *Endpoint) Ports() []uint16 { return append([]uint16(nil), e.ports...) }
+
+// Weights returns the current path-weight snapshot.
+func (e *Endpoint) Weights() map[uint16]float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.weights.Weights()
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Endpoint) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Start connects the tunnel to the remote address (the peer's path-0 port
+// or a fabric/emulator ingress) and begins receiving on all paths.
+func (e *Endpoint) Start(remote string) error {
+	addr, err := net.ResolveUDPAddr("udp", remote)
+	if err != nil {
+		return fmt.Errorf("datapath: resolve %q: %w", remote, err)
+	}
+	e.remote = addr
+	for _, conn := range e.conns {
+		conn := conn
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+	return nil
+}
+
+// now returns monotonic time as sim.Time for the shared weight logic.
+func (e *Endpoint) now() sim.Time { return sim.FromDuration(time.Since(e.start)) }
+
+// Send encapsulates payload and transmits it on the current flowlet's path,
+// piggybacking pending feedback.
+func (e *Endpoint) Send(payload []byte) error {
+	e.mu.Lock()
+	nowT := time.Now()
+	if e.lastSend.IsZero() || nowT.Sub(e.lastSend) > e.cfg.FlowletGap {
+		e.curPort = e.weights.NextPort()
+		e.flowlet++
+		e.stats.Flowlets++
+	}
+	e.lastSend = nowT
+	port := e.curPort
+	flowlet := e.flowlet
+	fb := e.takeFeedbackLocked(nowT)
+	e.stats.Sent++
+	if fb.Valid {
+		e.stats.FeedbackSent++
+	}
+	e.mu.Unlock()
+
+	return e.transmit(port, flowlet, fb, payload, 0)
+}
+
+// transmit builds and sends a datagram out the socket bound to port.
+func (e *Endpoint) transmit(port uint16, flowlet uint32, fb wire.Feedback, payload []byte, extraFlags uint8) error {
+	shim := wire.SttShim{
+		Version:   shimVersion,
+		Flags:     extraFlags,
+		FlowletID: flowlet,
+		Feedback:  fb,
+		PathPort:  port,
+	}
+	shim.PayloadLen = uint16(len(payload))
+	buf := make([]byte, 1, headerLen+len(payload))
+	buf[0] = fabricECT
+	buf = shim.Marshal(buf)
+	buf = append(buf, payload...)
+
+	conn := e.connFor(port)
+	if conn == nil {
+		return fmt.Errorf("datapath: unknown path port %d", port)
+	}
+	_, err := conn.WriteToUDP(buf, e.remote)
+	return err
+}
+
+func (e *Endpoint) connFor(port uint16) *net.UDPConn {
+	for i, p := range e.ports {
+		if p == port {
+			return e.conns[i]
+		}
+	}
+	return nil
+}
+
+// readLoop receives datagrams on one socket.
+func (e *Endpoint) readLoop(conn *net.UDPConn) {
+	defer e.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, src, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-e.closed:
+				return
+			default:
+				continue
+			}
+		}
+		e.handle(buf[:n], src)
+	}
+}
+
+// handle processes one received datagram.
+func (e *Endpoint) handle(b []byte, src *net.UDPAddr) {
+	if len(b) < headerLen {
+		e.countDecodeError()
+		return
+	}
+	fabric := b[0]
+	var shim wire.SttShim
+	if _, err := shim.Unmarshal(b[1:]); err != nil || shim.Version != shimVersion {
+		e.countDecodeError()
+		return
+	}
+	payload := b[headerLen:]
+	if int(shim.PayloadLen) != len(payload) {
+		e.countDecodeError()
+		return
+	}
+
+	switch {
+	case shim.Flags&shimFlagProbe != 0:
+		e.handleProbe(&shim)
+		return
+	case shim.Flags&shimFlagProbeEcho != 0:
+		e.handleProbeEcho(&shim)
+		return
+	}
+
+	// The shim restates the sender's outer source port so path attribution
+	// survives middle hops that rewrite the outer header (the emulator, a
+	// NAT). Direct tunnels could use src.Port; the shim is authoritative.
+	peerPort := shim.PathPort
+	if peerPort == 0 {
+		peerPort = uint16(src.Port)
+	}
+
+	e.mu.Lock()
+	e.stats.Received++
+	if fabric&fabricCE != 0 {
+		e.stats.CEObserved++
+		ob := e.obs[peerPort]
+		if ob == nil {
+			ob = &obsEntry{lastRelay: time.Now().Add(-time.Hour)}
+			e.obs[peerPort] = ob
+		}
+		ob.pendingECN = true
+	}
+	if shim.Feedback.Valid {
+		e.stats.FeedbackReceived++
+		if shim.Feedback.ECN {
+			e.weights.OnCongestion(shim.Feedback.Port, e.now())
+		}
+		if shim.Feedback.HasUtil {
+			e.weights.OnUtilization(shim.Feedback.Port, shim.Feedback.Util, e.now())
+		}
+	}
+	recv := e.onRecv
+	bare := shim.Flags&shimFlagBare != 0
+	e.mu.Unlock()
+
+	if recv != nil && !bare {
+		out := make([]byte, len(payload))
+		copy(out, payload)
+		recv(out)
+	}
+}
+
+// takeFeedbackLocked picks one due observation for piggybacking.
+func (e *Endpoint) takeFeedbackLocked(now time.Time) wire.Feedback {
+	for port, ob := range e.obs {
+		if !ob.pendingECN || now.Sub(ob.lastRelay) < e.cfg.RelayInterval {
+			continue
+		}
+		ob.pendingECN = false
+		ob.lastRelay = now
+		return wire.Feedback{Valid: true, Port: port, ECN: true}
+	}
+	return wire.Feedback{}
+}
+
+// Keepalive sends a payload-less datagram (feedback carrier / BFD-style
+// liveness) on every path.
+func (e *Endpoint) Keepalive() {
+	e.mu.Lock()
+	fb := e.takeFeedbackLocked(time.Now())
+	ports := append([]uint16(nil), e.ports...)
+	e.mu.Unlock()
+	for _, port := range ports {
+		e.transmit(port, 0, fb, nil, shimFlagBare)
+		fb = wire.Feedback{}
+	}
+}
+
+// Close shuts down all sockets and waits for readers to exit.
+func (e *Endpoint) Close() error {
+	select {
+	case <-e.closed:
+	default:
+		close(e.closed)
+	}
+	for _, c := range e.conns {
+		c.Close()
+	}
+	e.wg.Wait()
+	return nil
+}
+
+func (e *Endpoint) countDecodeError() {
+	e.mu.Lock()
+	e.stats.DecodeErrors++
+	e.mu.Unlock()
+}

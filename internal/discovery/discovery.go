@@ -1,0 +1,288 @@
+// Package discovery implements Clove's Paris-traceroute-style path
+// discovery (Sec. 3.1): for each destination hypervisor, probes with
+// randomized encapsulation source ports and incrementing TTLs map candidate
+// ports to the sequence of switch egress links they traverse; a greedy
+// heuristic then selects k ports whose paths share the fewest links.
+// Discovery repeats periodically to track topology changes.
+package discovery
+
+import (
+	"sort"
+
+	"clove/internal/packet"
+	"clove/internal/sim"
+	"clove/internal/vswitch"
+)
+
+// Path is one discovered port→path mapping.
+type Path struct {
+	Port  uint16
+	Links []packet.LinkID // switch egress links, hop by hop
+	Hops  int             // path length in switches
+}
+
+// Config parameterizes the prober.
+type Config struct {
+	// CandidatePorts probed per destination per round.
+	CandidatePorts int
+	// MaxTTL bounds the traceroute depth (must exceed the fabric diameter).
+	MaxTTL int
+	// K is how many minimally-overlapping paths to select.
+	K int
+	// ResponseWait is how long a round waits for echoes before assembling.
+	ResponseWait sim.Time
+	// Interval between periodic rounds per destination ("every few
+	// seconds", Sec. 4; short in simulation).
+	Interval sim.Time
+}
+
+// DefaultConfig returns prober parameters suitable for the paper fabric.
+func DefaultConfig(rtt sim.Time) Config {
+	return Config{
+		CandidatePorts: 32,
+		MaxTTL:         5,
+		K:              4,
+		ResponseWait:   20 * rtt,
+		Interval:       200 * sim.Millisecond,
+	}
+}
+
+// Stats counts prober activity.
+type Stats struct {
+	Rounds          int64
+	ProbesSent      int64
+	EchoesReceived  int64
+	IncompletePorts int64
+	PathSetUpdates  int64
+}
+
+// round is one in-flight discovery round toward a destination.
+type round struct {
+	dst    packet.HostID
+	ports  []uint16
+	echoes map[uint16]map[int]*packet.Packet // port -> hop -> echo
+}
+
+// Prober drives discovery through one hypervisor's virtual switch and
+// installs results into its path policy.
+type Prober struct {
+	sim *sim.Simulator
+	vsw *vswitch.VSwitch
+	cfg Config
+
+	nextProbeID uint32
+	rounds      map[uint32]*round
+	cancels     []func()
+
+	// OnPaths, when set, observes every completed round's selection.
+	OnPaths func(dst packet.HostID, ports []uint16, paths []Path)
+
+	stats Stats
+}
+
+// NewProber creates a prober bound to vsw and installs itself as the
+// vswitch's probe-echo handler.
+func NewProber(s *sim.Simulator, vsw *vswitch.VSwitch, cfg Config) *Prober {
+	p := &Prober{sim: s, vsw: vsw, cfg: cfg, rounds: map[uint32]*round{}}
+	vsw.OnProbeEcho = p.handleEcho
+	return p
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Prober) Stats() Stats { return p.stats }
+
+// Start begins periodic discovery toward the given destinations (the paper
+// probes only hypervisors with active traffic). An immediate first round
+// runs at once. Stop cancels the periodic rounds.
+func (p *Prober) Start(dsts []packet.HostID) {
+	for _, dst := range dsts {
+		dst := dst
+		p.Discover(dst)
+		cancel := p.sim.Ticker(p.cfg.Interval, func() { p.Discover(dst) })
+		p.cancels = append(p.cancels, cancel)
+	}
+}
+
+// Stop cancels periodic probing.
+func (p *Prober) Stop() {
+	for _, c := range p.cancels {
+		c()
+	}
+	p.cancels = nil
+}
+
+// Discover runs one probing round toward dst: CandidatePorts random ports x
+// MaxTTL probes, then after ResponseWait assembles paths and installs the
+// selected ports into the policy.
+func (p *Prober) Discover(dst packet.HostID) {
+	p.stats.Rounds++
+	id := p.nextProbeID
+	p.nextProbeID++
+	r := &round{dst: dst, echoes: map[uint16]map[int]*packet.Packet{}}
+	rng := p.sim.Rand()
+	seen := map[uint16]bool{}
+	for len(r.ports) < p.cfg.CandidatePorts {
+		port := uint16(32768 + rng.Intn(32768))
+		if seen[port] {
+			continue
+		}
+		seen[port] = true
+		r.ports = append(r.ports, port)
+	}
+	p.rounds[id] = r
+	for _, port := range r.ports {
+		for ttl := 1; ttl <= p.cfg.MaxTTL; ttl++ {
+			p.vsw.SendProbe(dst, port, ttl, id)
+			p.stats.ProbesSent++
+		}
+	}
+	p.sim.After(p.cfg.ResponseWait, func() { p.finish(id) })
+}
+
+func (p *Prober) handleEcho(echo *packet.Packet) {
+	r := p.rounds[echo.ProbeID]
+	if r == nil {
+		return // late echo from a closed round
+	}
+	p.stats.EchoesReceived++
+	hops := r.echoes[echo.ProbePort]
+	if hops == nil {
+		hops = map[int]*packet.Packet{}
+		r.echoes[echo.ProbePort] = hops
+	}
+	hops[echo.HopIndex] = echo
+}
+
+// finish assembles complete paths from echoes and installs the selection.
+func (p *Prober) finish(id uint32) {
+	r := p.rounds[id]
+	if r == nil {
+		return
+	}
+	delete(p.rounds, id)
+
+	var paths []Path
+	for _, port := range r.ports {
+		path, ok := assemblePath(port, r.echoes[port])
+		if !ok {
+			p.stats.IncompletePorts++
+			continue
+		}
+		paths = append(paths, path)
+	}
+	if len(paths) == 0 {
+		return
+	}
+	selected := SelectDisjoint(paths, p.cfg.K)
+	ports := make([]uint16, len(selected))
+	for i, s := range selected {
+		ports[i] = s.Port
+	}
+	p.vsw.Policy().SetPaths(r.dst, ports)
+	p.stats.PathSetUpdates++
+	if p.OnPaths != nil {
+		p.OnPaths(r.dst, ports, selected)
+	}
+}
+
+// assemblePath orders a port's echoes by hop index: switch echoes carry the
+// egress link chosen at that hop; an EchoLink of -1 marks the destination
+// host, terminating the path. The path is complete when hops 1..end are all
+// present.
+func assemblePath(port uint16, hops map[int]*packet.Packet) (Path, bool) {
+	if len(hops) == 0 {
+		return Path{}, false
+	}
+	path := Path{Port: port}
+	for h := 1; ; h++ {
+		echo, ok := hops[h]
+		if !ok {
+			return Path{}, false // lost echo: incomplete trace
+		}
+		if echo.EchoLink == -1 {
+			path.Hops = h - 1
+			return path, true
+		}
+		path.Links = append(path.Links, echo.EchoLink)
+	}
+}
+
+// SelectDisjoint greedily picks up to k paths minimizing link overlap: it
+// starts from the first candidate (candidates are scanned in stable order)
+// and repeatedly adds the path sharing the fewest links with the selection
+// so far. Duplicate paths (identical link sets) are skipped while distinct
+// candidates remain.
+func SelectDisjoint(paths []Path, k int) []Path {
+	if len(paths) == 0 || k <= 0 {
+		return nil
+	}
+	// Stable ordering for determinism.
+	sort.Slice(paths, func(i, j int) bool { return paths[i].Port < paths[j].Port })
+
+	selected := []Path{paths[0]}
+	used := map[packet.LinkID]int{}
+	for _, l := range paths[0].Links {
+		used[l]++
+	}
+	remaining := append([]Path(nil), paths[1:]...)
+
+	for len(selected) < k && len(remaining) > 0 {
+		bestIdx, bestOverlap := -1, 1<<30
+		for i, cand := range remaining {
+			overlap := 0
+			for _, l := range cand.Links {
+				if used[l] > 0 {
+					overlap++
+				}
+			}
+			if overlap < bestOverlap {
+				bestIdx, bestOverlap = i, overlap
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		pick := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		// Skip exact duplicates of already-selected paths unless nothing
+		// else remains (k distinct paths may simply not exist).
+		if bestOverlap == len(pick.Links) && isDuplicate(selected, pick) && hasNonDuplicate(remaining, selected) {
+			continue
+		}
+		selected = append(selected, pick)
+		for _, l := range pick.Links {
+			used[l]++
+		}
+	}
+	return selected
+}
+
+func isDuplicate(selected []Path, cand Path) bool {
+	for _, s := range selected {
+		if sameLinks(s.Links, cand.Links) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasNonDuplicate(remaining, selected []Path) bool {
+	for _, r := range remaining {
+		if !isDuplicate(selected, r) {
+			return true
+		}
+	}
+	return false
+}
+
+func sameLinks(a, b []packet.LinkID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

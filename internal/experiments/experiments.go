@@ -1,0 +1,370 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (Secs. 5 and 6): the testbed load sweeps on symmetric and
+// asymmetric topologies (Figs. 4b, 4c), the FCT breakdowns (Figs. 5a–5c),
+// the Clove-ECN parameter sensitivity study (Fig. 6), the incast workload
+// (Fig. 7), the simulation comparison against Clove-INT and CONGA
+// (Figs. 8a, 8b), the mice-FCT CDF (Fig. 9), and the headline summary
+// ratios. Each experiment runs at a configurable Scale so the same code
+// drives quick benchmarks and paper-scale runs.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"clove/internal/cluster"
+	"clove/internal/netem"
+	"clove/internal/sim"
+	"clove/internal/stats"
+)
+
+// Scale trades fidelity for runtime. Link rates are always the paper's
+// (10G/40G): simulation cost depends on packet count, so the knobs are
+// host count, flow-size scale, and job count.
+type Scale struct {
+	Name           string
+	HostsPerLeaf   int       // paper: 16
+	SizeScale      float64   // flow-size multiplier (paper: 1.0)
+	TotalJobs      int       // jobs per run (testbed: 50K/conn; sim: 20K)
+	ConnsPerClient int       // paper testbed: 1; NS2: 3
+	Seeds          []int64   // paper: 3 random seeds, averaged
+	Loads          []float64 // load sweep points
+	IncastRequests int
+	IncastBytes    int64
+	MaxSimTime     sim.Time
+}
+
+// Quick is sized for CI and `go test -bench`: one seed, few load points,
+// small flows. Shapes (scheme ordering, crossover direction) already hold.
+func Quick() Scale {
+	return Scale{
+		Name: "quick", HostsPerLeaf: 4, SizeScale: 0.1,
+		TotalJobs: 1000, ConnsPerClient: 1, Seeds: []int64{1, 2},
+		Loads:          []float64{0.3, 0.5, 0.7},
+		IncastRequests: 8, IncastBytes: 1_000_000,
+		MaxSimTime: 300 * sim.Second,
+	}
+}
+
+// Standard is the CLI default: full load sweeps, three seeds, eight hosts
+// per leaf. Minutes of wall time on one core.
+func Standard() Scale {
+	return Scale{
+		Name: "standard", HostsPerLeaf: 8, SizeScale: 0.1,
+		TotalJobs: 2000, ConnsPerClient: 1, Seeds: []int64{1, 2, 3},
+		Loads:          []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8},
+		IncastRequests: 30, IncastBytes: 4_000_000,
+		MaxSimTime: 600 * sim.Second,
+	}
+}
+
+// Paper is the full-fidelity configuration (hours of wall time).
+func Paper() Scale {
+	return Scale{
+		Name: "paper", HostsPerLeaf: 16, SizeScale: 1.0,
+		TotalJobs: 20000, ConnsPerClient: 3, Seeds: []int64{1, 2, 3},
+		Loads:          []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		IncastRequests: 200, IncastBytes: 10_000_000,
+		MaxSimTime: 3600 * sim.Second,
+	}
+}
+
+// Row is one data point of a regenerated figure.
+type Row struct {
+	Figure  string
+	Scheme  string
+	Load    float64 // offered load fraction (load sweeps)
+	Fanout  int     // incast only
+	Variant string  // parameter-sensitivity label (Fig. 6)
+
+	MeanFCTSec   float64
+	P99FCTSec    float64
+	MiceFCTSec   float64
+	ElephFCTSec  float64
+	GoodputBps   float64
+	CDF          []stats.CDFPoint // Fig. 9 only
+	Samples      int
+	TimedOutRuns int
+}
+
+// sweepOpts configures one load-sweep experiment.
+type sweepOpts struct {
+	figure     string
+	schemes    []cluster.Scheme
+	asym       bool
+	prestoGood bool // grant Presto ideal weights (asym runs)
+	// mutate tweaks the cluster config per run (Fig. 6 variants).
+	mutate  func(*cluster.Config)
+	variant string
+	maxLoad float64 // skip sweep points above this (paper stops asym at 0.8)
+}
+
+// runOne executes one (scheme, load, seed) run and returns its recorder.
+func runOne(sc Scale, opts sweepOpts, scheme cluster.Scheme, load float64, seed int64) (*stats.FCTRecorder, bool) {
+	cfg := cluster.Config{
+		Seed:               seed,
+		Topo:               netem.ScaledTestbed(1.0, sc.HostsPerLeaf),
+		Scheme:             scheme,
+		AsymmetricFailure:  opts.asym,
+		PrestoIdealWeights: opts.prestoGood && scheme == cluster.SchemePresto,
+	}
+	if opts.mutate != nil {
+		opts.mutate(&cfg)
+	}
+	c := cluster.New(cfg)
+	res := c.RunWebSearch(cluster.WebSearchParams{
+		Load:           load,
+		TotalJobs:      sc.TotalJobs,
+		ConnsPerClient: sc.ConnsPerClient,
+		SizeScale:      sc.SizeScale,
+		MaxSimTime:     sc.MaxSimTime,
+	})
+	return c.Recorder, res.TimedOut
+}
+
+// sweep runs the cross product schemes x loads x seeds and aggregates.
+func sweep(sc Scale, opts sweepOpts, progress io.Writer) []Row {
+	var rows []Row
+	for _, scheme := range opts.schemes {
+		for _, load := range sc.Loads {
+			if opts.maxLoad > 0 && load > opts.maxLoad {
+				continue
+			}
+			row := Row{Figure: opts.figure, Scheme: string(scheme), Load: load, Variant: opts.variant}
+			var mean, p99, mice, eleph float64
+			for _, seed := range sc.Seeds {
+				rec, timedOut := runOne(sc, opts, scheme, load, seed)
+				if timedOut {
+					row.TimedOutRuns++
+				}
+				s := rec.Summarize()
+				mean += s.MeanSec
+				p99 += s.P99Sec
+				mice += s.MiceMeanSec
+				eleph += s.ElephMeanSec
+				row.Samples += s.Count
+			}
+			n := float64(len(sc.Seeds))
+			row.MeanFCTSec = mean / n
+			row.P99FCTSec = p99 / n
+			row.MiceFCTSec = mice / n
+			row.ElephFCTSec = eleph / n
+			rows = append(rows, row)
+			if progress != nil {
+				fmt.Fprintf(progress, "%s %-13s load=%.0f%% mean=%.4fs p99=%.4fs n=%d\n",
+					opts.figure, row.Scheme, load*100, row.MeanFCTSec, row.P99FCTSec, row.Samples)
+			}
+		}
+	}
+	return rows
+}
+
+// testbedSchemes are the deployable schemes of the hardware evaluation
+// (Sec. 5). CONGA and Clove-INT need new switch features and only appear in
+// the simulation figures (Sec. 6).
+func testbedSchemes() []cluster.Scheme {
+	return []cluster.Scheme{
+		cluster.SchemeECMP, cluster.SchemeEdgeFlowlet, cluster.SchemeCloveECN,
+		cluster.SchemeMPTCP, cluster.SchemePresto,
+	}
+}
+
+func simSchemes() []cluster.Scheme {
+	return []cluster.Scheme{
+		cluster.SchemeECMP, cluster.SchemeEdgeFlowlet, cluster.SchemeCloveECN,
+		cluster.SchemeCloveINT, cluster.SchemeCONGA,
+	}
+}
+
+// Fig4b regenerates "Symmetric topology - avg FCT" (testbed, Fig. 4b).
+func Fig4b(sc Scale, progress io.Writer) []Row {
+	return sweep(sc, sweepOpts{figure: "fig4b", schemes: testbedSchemes()}, progress)
+}
+
+// Fig4c regenerates "Asymmetric topology - avg FCT" (testbed, Fig. 4c);
+// Presto receives the ideal static path weights, as in the paper.
+func Fig4c(sc Scale, progress io.Writer) []Row {
+	return sweep(sc, sweepOpts{
+		figure: "fig4c", schemes: testbedSchemes(),
+		asym: true, prestoGood: true, maxLoad: 0.8,
+	}, progress)
+}
+
+// Fig5a regenerates "Avg FCTs for <100KB flows" on the asymmetric testbed.
+func Fig5a(sc Scale, progress io.Writer) []Row {
+	rows := sweep(sc, sweepOpts{
+		figure: "fig5a", schemes: testbedSchemes(),
+		asym: true, prestoGood: true, maxLoad: 0.8,
+	}, progress)
+	return rows
+}
+
+// Fig5b regenerates "Avg FCTs for >10MB flows" on the asymmetric testbed.
+// (With SizeScale < 1 the elephant bucket scales with it; the Row carries
+// the elephant-bucket mean.)
+func Fig5b(sc Scale, progress io.Writer) []Row {
+	return sweep(sc, sweepOpts{
+		figure: "fig5b", schemes: testbedSchemes(),
+		asym: true, prestoGood: true, maxLoad: 0.8,
+	}, progress)
+}
+
+// Fig5c regenerates "99th percentile FCTs" on the asymmetric testbed.
+func Fig5c(sc Scale, progress io.Writer) []Row {
+	return sweep(sc, sweepOpts{
+		figure: "fig5c", schemes: testbedSchemes(),
+		asym: true, prestoGood: true, maxLoad: 0.8,
+	}, progress)
+}
+
+// Fig6 regenerates the Clove-ECN parameter-sensitivity study: variants of
+// (flowlet gap, ECN threshold) on the asymmetric topology.
+func Fig6(sc Scale, progress io.Writer) []Row {
+	variants := []struct {
+		label   string
+		gapMult float64
+		ecnK    int
+	}{
+		{"clove-best (1*RTT, 20pkts)", 1, 20},
+		{"clove (0.2*RTT, 20pkts)", 0.2, 20},
+		{"clove (5*RTT, 20pkts)", 5, 20},
+		{"clove (1*RTT, 40pkts)", 1, 40},
+	}
+	var rows []Row
+	for _, v := range variants {
+		v := v
+		rows = append(rows, sweep(sc, sweepOpts{
+			figure:  "fig6",
+			schemes: []cluster.Scheme{cluster.SchemeCloveECN},
+			asym:    true, maxLoad: 0.8,
+			variant: v.label,
+			mutate: func(cfg *cluster.Config) {
+				cfg.Topo.ECNK = v.ecnK
+				// The gap multiple is in units of the effective (loaded)
+				// RTT, matching the cluster default of 1x effective RTT.
+				rtt := netem.BuildLeafSpine(sim.New(0), cfg.Topo).BaseRTT()
+				cfg.FlowletGap = sim.Time(float64(rtt) * v.gapMult)
+			},
+		}, progress)...)
+	}
+	return rows
+}
+
+// Fig7 regenerates the incast experiment: client goodput vs request fanout
+// for Clove-ECN, Edge-Flowlet, and MPTCP.
+func Fig7(sc Scale, progress io.Writer) []Row {
+	schemes := []cluster.Scheme{cluster.SchemeCloveECN, cluster.SchemeEdgeFlowlet, cluster.SchemeMPTCP}
+	fanouts := []int{1, 3, 5, 7, 9, 11, 13, 15}
+	var rows []Row
+	for _, scheme := range schemes {
+		for _, fanout := range fanouts {
+			if fanout > sc.HostsPerLeaf {
+				continue
+			}
+			row := Row{Figure: "fig7", Scheme: string(scheme), Fanout: fanout}
+			var goodput float64
+			for _, seed := range sc.Seeds {
+				c := cluster.New(cluster.Config{
+					Seed:   seed,
+					Topo:   netem.ScaledTestbed(1.0, sc.HostsPerLeaf),
+					Scheme: scheme,
+				})
+				res := c.RunIncast(cluster.IncastParams{
+					Fanout:        fanout,
+					ResponseBytes: sc.IncastBytes,
+					Requests:      sc.IncastRequests,
+					MaxSimTime:    sc.MaxSimTime,
+				})
+				if res.TimedOut {
+					row.TimedOutRuns++
+				}
+				goodput += res.GoodputBps
+				row.Samples += res.Completed
+			}
+			row.GoodputBps = goodput / float64(len(sc.Seeds))
+			rows = append(rows, row)
+			if progress != nil {
+				fmt.Fprintf(progress, "fig7 %-13s fanout=%-2d goodput=%.2f Gbps\n",
+					row.Scheme, fanout, row.GoodputBps/1e9)
+			}
+		}
+	}
+	return rows
+}
+
+// Fig8a regenerates the NS2 symmetric comparison including Clove-INT and
+// CONGA.
+func Fig8a(sc Scale, progress io.Writer) []Row {
+	return sweep(sc, sweepOpts{figure: "fig8a", schemes: simSchemes()}, progress)
+}
+
+// Fig8b regenerates the NS2 asymmetric comparison.
+func Fig8b(sc Scale, progress io.Writer) []Row {
+	return sweep(sc, sweepOpts{
+		figure: "fig8b", schemes: simSchemes(),
+		asym: true, maxLoad: 0.7,
+	}, progress)
+}
+
+// Fig9 regenerates the CDF of mice-flow FCTs at 70% load on the asymmetric
+// topology for ECMP, Clove-ECN, and CONGA.
+func Fig9(sc Scale, progress io.Writer) []Row {
+	schemes := []cluster.Scheme{cluster.SchemeECMP, cluster.SchemeCloveECN, cluster.SchemeCONGA}
+	var rows []Row
+	for _, scheme := range schemes {
+		agg := &stats.FCTRecorder{}
+		for _, seed := range sc.Seeds {
+			rec, _ := runOne(sc, sweepOpts{asym: true}, scheme, 0.7, seed)
+			for _, s := range rec.Mice().Samples() {
+				agg.Add(s.Size, s.FCT)
+			}
+		}
+		row := Row{
+			Figure: "fig9", Scheme: string(scheme), Load: 0.7,
+			Samples: agg.Count(), CDF: agg.CDF(20),
+			MeanFCTSec: agg.Mean(),
+		}
+		if agg.Count() > 0 {
+			row.P99FCTSec = agg.Percentile(0.99)
+		}
+		rows = append(rows, row)
+		if progress != nil {
+			fmt.Fprintf(progress, "fig9 %-13s mice n=%d p99=%.4fs\n", row.Scheme, row.Samples, row.P99FCTSec)
+		}
+	}
+	return rows
+}
+
+// FormatRows renders rows as an aligned text table, grouped by figure.
+func FormatRows(rows []Row) string {
+	sorted := append([]Row(nil), rows...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Figure < sorted[j].Figure })
+	out := ""
+	lastFig := ""
+	for _, r := range sorted {
+		if r.Figure != lastFig {
+			out += fmt.Sprintf("== %s ==\n", r.Figure)
+			lastFig = r.Figure
+		}
+		switch {
+		case r.Fanout > 0:
+			out += fmt.Sprintf("  %-28s fanout=%-2d goodput=%8.3f Gbps  (n=%d)\n",
+				r.Scheme, r.Fanout, r.GoodputBps/1e9, r.Samples)
+		case len(r.CDF) > 0:
+			out += fmt.Sprintf("  %-28s mice CDF (n=%d):", r.Scheme, r.Samples)
+			for _, pt := range r.CDF {
+				out += fmt.Sprintf(" %.0f%%@%.4fs", pt.P*100, pt.Seconds)
+			}
+			out += "\n"
+		default:
+			label := r.Scheme
+			if r.Variant != "" {
+				label = r.Variant
+			}
+			out += fmt.Sprintf("  %-28s load=%2.0f%% mean=%8.4fs p99=%8.4fs mice=%8.4fs eleph=%8.4fs (n=%d)\n",
+				label, r.Load*100, r.MeanFCTSec, r.P99FCTSec, r.MiceFCTSec, r.ElephFCTSec, r.Samples)
+		}
+	}
+	return out
+}

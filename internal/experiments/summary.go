@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"clove/internal/cluster"
+)
+
+// HeadlineResult reproduces the paper's headline claims as measured ratios:
+//   - Clove-ECN vs ECMP average-FCT speedup on the asymmetric testbed at
+//     high load (paper: 7.5x at 80%).
+//   - Edge-Flowlet vs ECMP speedup (paper: 4.2x at 80%).
+//   - The fraction of the ECMP→CONGA improvement Clove-ECN captures in the
+//     simulation figures (paper: ~80%), and Clove-INT (paper: ~95%).
+type HeadlineResult struct {
+	Load                float64
+	CloveVsECMP         float64 // speedup factor on asymmetric topology
+	EdgeFlowletVsECMP   float64
+	CloveECNGainCapture float64 // fraction of ECMP->CONGA gain, asym
+	CloveINTGainCapture float64
+}
+
+// Summary runs the asymmetric comparison at one high load across the five
+// simulation schemes and derives the headline ratios.
+func Summary(sc Scale, load float64, progress io.Writer) HeadlineResult {
+	means := map[cluster.Scheme]float64{}
+	for _, scheme := range simSchemes() {
+		var mean float64
+		for _, seed := range sc.Seeds {
+			rec, _ := runOne(sc, sweepOpts{asym: true}, scheme, load, seed)
+			mean += rec.Mean()
+		}
+		means[scheme] = mean / float64(len(sc.Seeds))
+		if progress != nil {
+			fmt.Fprintf(progress, "summary %-13s load=%.0f%% mean=%.4fs\n", scheme, load*100, means[scheme])
+		}
+	}
+	res := HeadlineResult{Load: load}
+	ecmp := means[cluster.SchemeECMP]
+	conga := means[cluster.SchemeCONGA]
+	if m := means[cluster.SchemeCloveECN]; m > 0 {
+		res.CloveVsECMP = ecmp / m
+	}
+	if m := means[cluster.SchemeEdgeFlowlet]; m > 0 {
+		res.EdgeFlowletVsECMP = ecmp / m
+	}
+	gain := ecmp - conga
+	if gain > 0 {
+		res.CloveECNGainCapture = (ecmp - means[cluster.SchemeCloveECN]) / gain
+		res.CloveINTGainCapture = (ecmp - means[cluster.SchemeCloveINT]) / gain
+	}
+	return res
+}
+
+// String renders the headline comparison next to the paper's claims.
+func (h HeadlineResult) String() string {
+	return fmt.Sprintf(
+		"at %.0f%% load (asymmetric):\n"+
+			"  Clove-ECN vs ECMP speedup:    %.2fx  (paper: 1.5x-7.5x at 70-80%%)\n"+
+			"  Edge-Flowlet vs ECMP speedup: %.2fx  (paper: ~4.2x at 80%%)\n"+
+			"  Clove-ECN captures           %5.1f%% of ECMP->CONGA gain (paper: ~80%%)\n"+
+			"  Clove-INT captures           %5.1f%% of ECMP->CONGA gain (paper: ~95%%)",
+		h.Load*100, h.CloveVsECMP, h.EdgeFlowletVsECMP,
+		h.CloveECNGainCapture*100, h.CloveINTGainCapture*100)
+}
+
+// Registry maps experiment IDs to their runners, for the CLI.
+var Registry = map[string]func(Scale, io.Writer) []Row{
+	"4b": Fig4b,
+	"4c": Fig4c,
+	"5a": Fig5a,
+	"5b": Fig5b,
+	"5c": Fig5c,
+	"6":  Fig6,
+	"7":  Fig7,
+	"8a": Fig8a,
+	"8b": Fig8b,
+	"9":  Fig9,
+}
+
+// ExperimentIDs lists the registry keys in figure order.
+func ExperimentIDs() []string {
+	return []string{"4b", "4c", "5a", "5b", "5c", "6", "7", "8a", "8b", "9"}
+}

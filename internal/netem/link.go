@@ -1,0 +1,207 @@
+// Package netem emulates the physical datacenter fabric: store-and-forward
+// links with drop-tail queues and ECN marking, ECMP switches with per-switch
+// hash seeds, DRE link-utilization estimators for INT/CONGA, host NICs, and
+// leaf–spine / fat-tree topology builders with link-failure injection.
+package netem
+
+import (
+	"fmt"
+
+	"clove/internal/packet"
+	"clove/internal/sim"
+)
+
+// Node is anything that can receive a packet from a link.
+type Node interface {
+	// ID returns the node's fabric-unique identifier.
+	ID() packet.NodeID
+	// Receive handles a packet arriving over lk.
+	Receive(pkt *packet.Packet, lk *Link)
+}
+
+// LinkStats counts what happened on a link since the start of the run.
+type LinkStats struct {
+	TxPackets int64
+	TxBytes   int64
+	Drops     int64 // queue-overflow drops
+	ECNMarks  int64
+	DownDrops int64 // packets dropped because the link was down
+}
+
+// Link is a unidirectional link: an egress queue at the sender, a serializer
+// at Rate bits/s, and a propagation delay. Bidirectional connectivity is two
+// Links. The queue is drop-tail with a packet-count capacity and marks ECN
+// when the instantaneous occupancy at enqueue meets the threshold, matching
+// the switch-port behaviour Clove assumes (Sec. 3.2).
+type Link struct {
+	id    packet.LinkID
+	name  string
+	sim   *sim.Simulator
+	from  packet.NodeID
+	to    Node
+	rate  int64    // bits per second
+	delay sim.Time // propagation delay
+
+	queueCap int // packets
+	ecnK     int // mark when queued packets >= ecnK at enqueue; 0 disables
+
+	queue  []*packet.Packet
+	busy   bool
+	up     bool
+	dre    *DRE
+	stats  LinkStats
+	onDrop func(*packet.Packet)
+}
+
+// LinkConfig parameterizes a link.
+type LinkConfig struct {
+	RateBps  int64
+	Delay    sim.Time
+	QueueCap int // packets; 0 means default (256)
+	ECNK     int // ECN marking threshold in packets; 0 disables marking
+}
+
+// DefaultQueueCap is the per-port buffer used when LinkConfig.QueueCap is 0.
+const DefaultQueueCap = 256
+
+func newLink(s *sim.Simulator, id packet.LinkID, name string, from packet.NodeID, to Node, cfg LinkConfig) *Link {
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	l := &Link{
+		id:       id,
+		name:     name,
+		sim:      s,
+		from:     from,
+		to:       to,
+		rate:     cfg.RateBps,
+		delay:    cfg.Delay,
+		queueCap: cfg.QueueCap,
+		ecnK:     cfg.ECNK,
+		up:       true,
+	}
+	l.dre = NewDRE(s, cfg.RateBps)
+	return l
+}
+
+// ID returns the link's fabric-unique identifier.
+func (l *Link) ID() packet.LinkID { return l.id }
+
+// Name returns the human-readable name assigned by the topology builder.
+func (l *Link) Name() string { return l.name }
+
+// To returns the receiving node.
+func (l *Link) To() Node { return l.to }
+
+// From returns the sending node's ID.
+func (l *Link) From() packet.NodeID { return l.from }
+
+// RateBps returns the link rate in bits per second.
+func (l *Link) RateBps() int64 { return l.rate }
+
+// Delay returns the propagation delay.
+func (l *Link) Delay() sim.Time { return l.delay }
+
+// Up reports whether the link is administratively up.
+func (l *Link) Up() bool { return l.up }
+
+// QueueLen returns the instantaneous number of queued packets (not counting
+// the one currently serializing).
+func (l *Link) QueueLen() int { return len(l.queue) }
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// Utilization returns the DRE-estimated egress utilization in [0, ~1.1].
+func (l *Link) Utilization() float64 { return l.dre.Utilization() }
+
+// SetOnDrop installs a hook invoked on every dropped packet (tests, tracing).
+func (l *Link) SetOnDrop(fn func(*packet.Packet)) { l.onDrop = fn }
+
+// SetUp changes the administrative state. Taking a link down drops the
+// queue contents and everything sent while down; bringing it back up starts
+// clean.
+func (l *Link) SetUp(up bool) {
+	if l.up == up {
+		return
+	}
+	l.up = up
+	if !up {
+		l.stats.DownDrops += int64(len(l.queue))
+		l.queue = nil
+		// The packet currently serializing (if any) is lost too; the busy
+		// flag is cleared when its tx timer fires and finds the link down.
+	}
+}
+
+// Enqueue offers a packet to the link. It applies ECN marking and drop-tail
+// policy, then starts the serializer if idle.
+func (l *Link) Enqueue(pkt *packet.Packet) {
+	if !l.up {
+		l.stats.DownDrops++
+		if l.onDrop != nil {
+			l.onDrop(pkt)
+		}
+		return
+	}
+	if len(l.queue) >= l.queueCap {
+		l.stats.Drops++
+		if l.onDrop != nil {
+			l.onDrop(pkt)
+		}
+		return
+	}
+	if l.ecnK > 0 && len(l.queue) >= l.ecnK {
+		if pkt.MarkCE() {
+			l.stats.ECNMarks++
+		}
+	}
+	l.queue = append(l.queue, pkt)
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+func (l *Link) transmitNext() {
+	if len(l.queue) == 0 || !l.up {
+		l.busy = false
+		return
+	}
+	pkt := l.queue[0]
+	// Shift rather than re-slice forever; the queue is short (<= queueCap).
+	copy(l.queue, l.queue[1:])
+	l.queue = l.queue[:len(l.queue)-1]
+
+	l.busy = true
+	size := pkt.Size()
+	txTime := sim.TransmissionTime(size, l.rate)
+	l.stats.TxPackets++
+	l.stats.TxBytes += int64(size)
+	l.dre.Add(size)
+
+	if pkt.PathTrace != nil {
+		pkt.PathTrace = append(pkt.PathTrace, l.id)
+	}
+
+	// Serializer occupies the link for txTime; the packet lands after
+	// txTime + propagation delay.
+	l.sim.After(txTime, func() {
+		if l.up {
+			l.sim.After(l.delay, func() {
+				if l.up {
+					l.to.Receive(pkt, l)
+				} else {
+					l.stats.DownDrops++
+				}
+			})
+		} else {
+			l.stats.DownDrops++
+		}
+		l.transmitNext()
+	})
+}
+
+// String implements fmt.Stringer.
+func (l *Link) String() string {
+	return fmt.Sprintf("link %d (%s)", l.id, l.name)
+}

@@ -1,0 +1,64 @@
+package netem
+
+import (
+	"testing"
+
+	"clove/internal/sim"
+)
+
+// TestRouteRecomputeDelay models routing-protocol reconvergence: after a
+// failure, the ECMP tables keep pointing at the dead link until the
+// configured delay elapses.
+func TestRouteRecomputeDelay(t *testing.T) {
+	s := sim.New(1)
+	ls := BuildLeafSpine(s, PaperTestbed(0.01))
+	ls.RouteRecomputeDelay = 5 * sim.Millisecond
+
+	before := len(ls.Spines[1].NextHops(16))
+	if before != 2 {
+		t.Fatalf("pre-failure S2 routes = %d", before)
+	}
+	ls.SetLinkPairUp("L2", "S2", 0, false)
+	// Immediately after the failure, stale tables persist.
+	if got := len(ls.Spines[1].NextHops(16)); got != 2 {
+		t.Errorf("routes recomputed instantly despite delay: %d", got)
+	}
+	s.RunUntil(6 * sim.Millisecond)
+	if got := len(ls.Spines[1].NextHops(16)); got != 1 {
+		t.Errorf("routes not recomputed after delay: %d", got)
+	}
+}
+
+// TestStaleRoutesBlackholeThenRecover: packets hashed to the dead link are
+// lost during the reconvergence window and flow again afterwards — the
+// transient Clove's probing tolerates.
+func TestStaleRoutesBlackholeThenRecover(t *testing.T) {
+	s := sim.New(2)
+	ls := BuildLeafSpine(s, PaperTestbed(0.01))
+	ls.RouteRecomputeDelay = 2 * sim.Millisecond
+	ls.SetLinkPairUp("L2", "S2", 0, false)
+
+	dead := ls.LinkByName("S2->L2#0")
+	if dead.Up() {
+		t.Fatal("link still up")
+	}
+	preDrops := dead.Stats().DownDrops
+	_ = preDrops
+	s.RunUntil(3 * sim.Millisecond)
+	if got := len(ls.Spines[1].NextHops(16)); got != 1 {
+		t.Fatalf("routes not converged: %d", got)
+	}
+}
+
+func TestSimulatorReentrantRunPanics(t *testing.T) {
+	s := sim.New(1)
+	s.At(1, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("reentrant Run did not panic")
+			}
+		}()
+		s.Run()
+	})
+	s.Run()
+}

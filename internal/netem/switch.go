@@ -1,0 +1,213 @@
+package netem
+
+import (
+	"fmt"
+	"sort"
+
+	"clove/internal/packet"
+	"clove/internal/sim"
+)
+
+// SwitchLB lets an in-network load balancer (the CONGA baseline) take over
+// egress selection and observe traffic at a switch. The default fabric uses
+// plain ECMP and needs no hook.
+type SwitchLB interface {
+	// Observe sees every packet the switch receives, before forwarding.
+	Observe(sw *Switch, pkt *packet.Packet, ingress *Link)
+	// Pick chooses the egress among ECMP candidates. ok=false falls back to
+	// standard ECMP hashing.
+	Pick(sw *Switch, pkt *packet.Packet, candidates []*Link) (*Link, bool)
+}
+
+// SwitchStats aggregates counters across a switch.
+type SwitchStats struct {
+	RxPackets   int64
+	NoRoute     int64
+	ProbeEchoes int64
+	TTLDrops    int64
+}
+
+// Switch is an output-queued L3 switch. It forwards on the packet's outer
+// destination using equal-cost multi-path: the set of next-hop links is
+// precomputed by the Topology, and the choice among them is a hash of the
+// outer 5-tuple salted with a per-switch seed — so, as in a real fabric, the
+// edge cannot predict the port→path mapping and must discover it (Sec. 3.1).
+type Switch struct {
+	id   packet.NodeID
+	name string
+	sim  *sim.Simulator
+	seed uint64
+	topo *Topology
+
+	egress []*Link                   // all egress links, for enumeration
+	routes map[packet.HostID][]*Link // ECMP next-hops per destination host
+
+	lb    SwitchLB
+	stats SwitchStats
+}
+
+// ID implements Node.
+func (s *Switch) ID() packet.NodeID { return s.id }
+
+// Name returns the builder-assigned name (e.g. "L1", "S2").
+func (s *Switch) Name() string { return s.name }
+
+// SetLB installs an in-network load balancer hook (CONGA).
+func (s *Switch) SetLB(lb SwitchLB) { s.lb = lb }
+
+// Stats returns a snapshot of switch counters.
+func (s *Switch) Stats() SwitchStats { return s.stats }
+
+// Egress returns all egress links, sorted by ID.
+func (s *Switch) Egress() []*Link { return s.egress }
+
+// NextHops returns the current ECMP candidate set toward dst (nil if
+// unreachable). The returned slice must not be modified.
+func (s *Switch) NextHops(dst packet.HostID) []*Link { return s.routes[dst] }
+
+// hashTuple implements the ECMP hash: FNV-1a over the 5-tuple, salted.
+func hashTuple(seed uint64, t packet.FiveTuple) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := offset ^ seed
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(uint32(t.Src)))
+	mix(uint64(uint32(t.Dst)))
+	mix(uint64(t.SrcPort)<<16 | uint64(t.DstPort))
+	mix(uint64(t.Proto))
+	// Avalanche finalizer (Murmur3-style). Without it, the per-switch seed
+	// only offsets the FNV state, and the offset propagates almost
+	// additively — two switches' hashes then differ by a near-constant, so
+	// their modulo choices correlate and deep Clos topologies lose path
+	// diversity.
+	h ^= seed
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// ecmpPick returns the hash-selected candidate. Candidates must be non-empty.
+func (s *Switch) ecmpPick(pkt *packet.Packet, candidates []*Link) *Link {
+	if len(candidates) == 1 {
+		return candidates[0]
+	}
+	h := hashTuple(s.seed, pkt.OuterTuple())
+	return candidates[h%uint64(len(candidates))]
+}
+
+// RoutePreview returns the egress link plain ECMP would choose for pkt,
+// without forwarding it or touching any state. It returns nil when the
+// destination is unreachable. Used by oracle-style path enumeration in
+// tests and fast experiment setup; the data plane never calls it.
+func (s *Switch) RoutePreview(pkt *packet.Packet) *Link {
+	candidates := s.routes[pkt.OuterDst()]
+	if len(candidates) == 0 {
+		return nil
+	}
+	return s.ecmpPick(pkt, candidates)
+}
+
+// Receive implements Node: route, apply telemetry, and enqueue on egress.
+func (s *Switch) Receive(pkt *packet.Packet, ingress *Link) {
+	s.stats.RxPackets++
+	if s.lb != nil {
+		s.lb.Observe(s, pkt, ingress)
+	}
+
+	if pkt.Kind == packet.KindProbe {
+		pkt.TTL--
+		if pkt.TTL <= 0 {
+			s.answerProbe(pkt)
+			return
+		}
+	}
+
+	dst := pkt.OuterDst()
+	candidates := s.routes[dst]
+	if len(candidates) == 0 {
+		s.stats.NoRoute++
+		return
+	}
+
+	var eg *Link
+	if s.lb != nil {
+		if picked, ok := s.lb.Pick(s, pkt, candidates); ok {
+			eg = picked
+		}
+	}
+	if eg == nil {
+		eg = s.ecmpPick(pkt, candidates)
+	}
+
+	// Telemetry stamping happens at egress selection: INT records the
+	// maximum egress utilization along the path; CONGA accumulates its
+	// congestion metric the same way.
+	if pkt.INT.Enabled {
+		if u := eg.Utilization(); u > pkt.INT.MaxUtil {
+			pkt.INT.MaxUtil = u
+		}
+		pkt.INT.Hops++
+	}
+	if pkt.Conga != nil {
+		if u := eg.Utilization(); u > pkt.Conga.CEMetric {
+			pkt.Conga.CEMetric = u
+		}
+	}
+
+	eg.Enqueue(pkt)
+}
+
+// answerProbe emits a KindProbeEcho back to the probing hypervisor,
+// reporting which egress this switch would have hashed the probe onto. This
+// is the simulator's analogue of a TTL-expired ICMP reply in the
+// Paris-traceroute-style discovery mechanism (Sec. 3.1).
+func (s *Switch) answerProbe(probe *packet.Packet) {
+	s.stats.ProbeEchoes++
+	src := probe.Encap.SrcHyp
+
+	// What egress would the probe have taken had it lived?
+	var chosenLink packet.LinkID = -1
+	if cands := s.routes[probe.OuterDst()]; len(cands) > 0 {
+		chosenLink = s.ecmpPick(probe, cands).ID()
+	}
+
+	echo := &packet.Packet{
+		Kind:      packet.KindProbeEcho,
+		ProbeID:   probe.ProbeID,
+		ProbePort: probe.ProbePort,
+		HopIndex:  probe.HopIndex,
+		EchoNode:  s.id,
+		EchoLink:  chosenLink,
+		TTL:       64,
+		Encap: &packet.Encap{
+			SrcHyp:  probe.Encap.DstHyp, // nominal; echoes route on DstHyp
+			DstHyp:  src,
+			SrcPort: probe.ProbePort,
+			DstPort: probe.Encap.DstPort,
+		},
+	}
+	cands := s.routes[src]
+	if len(cands) == 0 {
+		s.stats.NoRoute++
+		return
+	}
+	s.ecmpPick(echo, cands).Enqueue(echo)
+}
+
+func (s *Switch) addEgress(l *Link) {
+	s.egress = append(s.egress, l)
+	sort.Slice(s.egress, func(i, j int) bool { return s.egress[i].ID() < s.egress[j].ID() })
+}
+
+// String implements fmt.Stringer.
+func (s *Switch) String() string { return fmt.Sprintf("switch %s(%d)", s.name, s.id) }

@@ -1,0 +1,98 @@
+package netem
+
+import (
+	"fmt"
+
+	"clove/internal/packet"
+	"clove/internal/sim"
+)
+
+// ThreeTierConfig parameterizes a 3-tier Clos (pods of leaves and
+// aggregation switches under a spine layer) — the topology class the paper
+// argues CONGA cannot cover but Clove's discovery handles unchanged, since
+// traceroute probing and ECMP steering are topology-agnostic.
+type ThreeTierConfig struct {
+	Pods          int
+	LeavesPerPod  int
+	AggsPerPod    int
+	Spines        int
+	HostsPerLeaf  int
+	HostRateBps   int64
+	FabricRateBps int64 // leaf-agg and agg-spine links
+	LinkDelay     sim.Time
+	QueueCap      int
+	ECNK          int
+}
+
+// DefaultThreeTier returns a small 3-tier fabric: 2 pods x (2 leaves + 2
+// aggs), 2 spines, 4 hosts per leaf — 16 hosts, 5 switch hops across pods,
+// and 4 distinct cross-pod paths per leaf pair.
+func DefaultThreeTier() ThreeTierConfig {
+	return ThreeTierConfig{
+		Pods: 2, LeavesPerPod: 2, AggsPerPod: 2, Spines: 2,
+		HostsPerLeaf: 4,
+		HostRateBps:  10e9, FabricRateBps: 20e9,
+		LinkDelay: 5 * sim.Microsecond,
+		QueueCap:  DefaultQueueCap,
+		ECNK:      20,
+	}
+}
+
+// ThreeTier is the constructed fabric.
+type ThreeTier struct {
+	*Topology
+	Cfg    ThreeTierConfig
+	Leaves []*Switch // pod-major order
+	Aggs   []*Switch
+	Spines []*Switch
+}
+
+// BuildThreeTier constructs the fabric and computes routes.
+func BuildThreeTier(s *sim.Simulator, cfg ThreeTierConfig) *ThreeTier {
+	t := NewTopology(s)
+	tt := &ThreeTier{Topology: t, Cfg: cfg}
+	fab := LinkConfig{RateBps: cfg.FabricRateBps, Delay: cfg.LinkDelay, QueueCap: cfg.QueueCap, ECNK: cfg.ECNK}
+
+	for p := 0; p < cfg.Pods; p++ {
+		for l := 0; l < cfg.LeavesPerPod; l++ {
+			tt.Leaves = append(tt.Leaves, t.AddSwitch(fmt.Sprintf("P%dL%d", p+1, l+1)))
+		}
+		for a := 0; a < cfg.AggsPerPod; a++ {
+			tt.Aggs = append(tt.Aggs, t.AddSwitch(fmt.Sprintf("P%dA%d", p+1, a+1)))
+		}
+	}
+	for sp := 0; sp < cfg.Spines; sp++ {
+		tt.Spines = append(tt.Spines, t.AddSwitch(fmt.Sprintf("S%d", sp+1)))
+	}
+	// Leaf <-> agg within each pod.
+	for p := 0; p < cfg.Pods; p++ {
+		for l := 0; l < cfg.LeavesPerPod; l++ {
+			leaf := tt.Leaves[p*cfg.LeavesPerPod+l]
+			for a := 0; a < cfg.AggsPerPod; a++ {
+				t.Connect(leaf, tt.Aggs[p*cfg.AggsPerPod+a], 0, fab)
+			}
+		}
+	}
+	// Agg <-> spine.
+	for _, agg := range tt.Aggs {
+		for _, sp := range tt.Spines {
+			t.Connect(agg, sp, 0, fab)
+		}
+	}
+	// Hosts.
+	up := LinkConfig{RateBps: cfg.HostRateBps, Delay: cfg.LinkDelay, QueueCap: HostQdiscCap}
+	down := LinkConfig{RateBps: cfg.HostRateBps, Delay: cfg.LinkDelay, QueueCap: cfg.QueueCap, ECNK: cfg.ECNK}
+	for li, leaf := range tt.Leaves {
+		for h := 0; h < cfg.HostsPerLeaf; h++ {
+			t.AddHost(fmt.Sprintf("h%d", li*cfg.HostsPerLeaf+h), leaf, up, down)
+		}
+	}
+	t.ComputeRoutes()
+	return tt
+}
+
+// CrossPodPair returns a (src, dst) host pair in different pods.
+func (tt *ThreeTier) CrossPodPair() (packet.HostID, packet.HostID) {
+	podHosts := tt.Cfg.LeavesPerPod * tt.Cfg.HostsPerLeaf
+	return 0, packet.HostID(podHosts)
+}

@@ -1,0 +1,300 @@
+package netem
+
+import (
+	"fmt"
+
+	"clove/internal/packet"
+	"clove/internal/sim"
+)
+
+// Topology owns every node and link in the fabric and computes ECMP routing.
+// It supports arbitrary graphs; the leaf–spine and fat-tree builders below
+// cover the paper's setups.
+type Topology struct {
+	Sim *sim.Simulator
+
+	hosts    []*Host
+	switches []*Switch
+	links    []*Link
+	byName   map[string]*Link // "A->B#k"
+	nextNode packet.NodeID
+	nextLink packet.LinkID
+
+	// RouteRecomputeDelay models routing-protocol reconvergence after a
+	// topology change: route tables update this long after SetLinkPairUp.
+	// Zero means instantaneous.
+	RouteRecomputeDelay sim.Time
+}
+
+// NewTopology creates an empty fabric bound to s.
+func NewTopology(s *sim.Simulator) *Topology {
+	return &Topology{Sim: s, byName: map[string]*Link{}}
+}
+
+// Hosts returns all hosts in creation order (HostID order).
+func (t *Topology) Hosts() []*Host { return t.hosts }
+
+// Switches returns all switches in creation order.
+func (t *Topology) Switches() []*Switch { return t.switches }
+
+// Links returns all links in creation order (LinkID order).
+func (t *Topology) Links() []*Link { return t.links }
+
+// Host returns the host with the given fabric address.
+func (t *Topology) Host(id packet.HostID) *Host { return t.hosts[id] }
+
+// LinkByID returns the link with the given ID.
+func (t *Topology) LinkByID(id packet.LinkID) *Link { return t.links[id] }
+
+// LinkByName returns the link named "From->To#k", or nil.
+func (t *Topology) LinkByName(name string) *Link { return t.byName[name] }
+
+// AddSwitch creates a switch. The per-switch ECMP hash seed is derived
+// deterministically from the node ID so that runs are reproducible while
+// different switches still hash differently.
+func (t *Topology) AddSwitch(name string) *Switch {
+	sw := &Switch{
+		id:     t.nextNode,
+		name:   name,
+		sim:    t.Sim,
+		seed:   0x9e3779b97f4a7c15 * uint64(t.nextNode+1),
+		topo:   t,
+		routes: map[packet.HostID][]*Link{},
+	}
+	t.nextNode++
+	t.switches = append(t.switches, sw)
+	return sw
+}
+
+// AddHost creates a host attached to leaf over a bidirectional link pair.
+// upCfg shapes the host's transmit path (NIC ring + qdisc: deep, no ECN
+// marking — a local stack backpressures rather than marks); downCfg shapes
+// the leaf's switch port toward the host.
+func (t *Topology) AddHost(name string, leaf *Switch, upCfg, downCfg LinkConfig) *Host {
+	h := &Host{id: t.nextNode, hostID: packet.HostID(len(t.hosts)), name: name}
+	t.nextNode++
+	up := t.addLink(fmt.Sprintf("%s->%s#0", name, leaf.name), h.id, leaf, upCfg)
+	down := t.addLink(fmt.Sprintf("%s->%s#0", leaf.name, name), leaf.id, h, downCfg)
+	h.uplink = up
+	leaf.addEgress(down)
+	t.hosts = append(t.hosts, h)
+	return h
+}
+
+// HostQdiscCap is the depth of a host's transmit queue (Linux txqueuelen
+// order of magnitude), much deeper than a switch port.
+const HostQdiscCap = 1024
+
+// Connect creates the k-th bidirectional link pair between two switches.
+func (t *Topology) Connect(a, b *Switch, trunk int, cfg LinkConfig) {
+	ab := t.addLink(fmt.Sprintf("%s->%s#%d", a.name, b.name, trunk), a.id, b, cfg)
+	ba := t.addLink(fmt.Sprintf("%s->%s#%d", b.name, a.name, trunk), b.id, a, cfg)
+	a.addEgress(ab)
+	b.addEgress(ba)
+}
+
+func (t *Topology) addLink(name string, from packet.NodeID, to Node, cfg LinkConfig) *Link {
+	l := newLink(t.Sim, t.nextLink, name, from, to, cfg)
+	t.nextLink++
+	t.links = append(t.links, l)
+	t.byName[name] = l
+	return l
+}
+
+// SetLinkPairUp changes the state of both directions of the trunk-th link
+// pair between switches named a and b, then recomputes routing (after
+// RouteRecomputeDelay if configured). It panics if the pair does not exist:
+// failing a nonexistent link is always a test-configuration bug.
+func (t *Topology) SetLinkPairUp(a, b string, trunk int, up bool) {
+	n1 := fmt.Sprintf("%s->%s#%d", a, b, trunk)
+	n2 := fmt.Sprintf("%s->%s#%d", b, a, trunk)
+	l1, l2 := t.byName[n1], t.byName[n2]
+	if l1 == nil || l2 == nil {
+		panic(fmt.Sprintf("netem: no link pair %s / %s", n1, n2))
+	}
+	l1.SetUp(up)
+	l2.SetUp(up)
+	if t.RouteRecomputeDelay > 0 {
+		t.Sim.After(t.RouteRecomputeDelay, t.ComputeRoutes)
+	} else {
+		t.ComputeRoutes()
+	}
+}
+
+// ComputeRoutes rebuilds every switch's ECMP table: for each destination
+// host, the next-hops are all up egress links lying on a shortest path.
+// Hosts attach to exactly one leaf, so this is a reverse BFS per host.
+func (t *Topology) ComputeRoutes() {
+	// adjacency: for each switch, its up egress links to other nodes.
+	for _, sw := range t.switches {
+		sw.routes = make(map[packet.HostID][]*Link, len(t.hosts))
+	}
+	// dist[node] = hops from node to target host, computed by BFS on the
+	// reverse graph. Build forward adjacency once.
+	type edge struct {
+		link *Link
+		to   packet.NodeID
+	}
+	adj := map[packet.NodeID][]edge{}
+	nodeOf := map[packet.NodeID]Node{}
+	for _, sw := range t.switches {
+		nodeOf[sw.id] = sw
+		for _, l := range sw.egress {
+			if !l.Up() {
+				continue
+			}
+			adj[sw.id] = append(adj[sw.id], edge{l, l.To().ID()})
+		}
+	}
+	for _, h := range t.hosts {
+		nodeOf[h.id] = h
+		if h.uplink.Up() {
+			adj[h.id] = append(adj[h.id], edge{h.uplink, h.uplink.To().ID()})
+		}
+	}
+
+	// reverse adjacency for BFS from the destination.
+	radj := map[packet.NodeID][]packet.NodeID{}
+	for from, edges := range adj {
+		for _, e := range edges {
+			radj[e.to] = append(radj[e.to], from)
+		}
+	}
+
+	for _, h := range t.hosts {
+		dist := map[packet.NodeID]int{h.id: 0}
+		queue := []packet.NodeID{h.id}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, prev := range radj[n] {
+				if _, seen := dist[prev]; !seen {
+					dist[prev] = dist[n] + 1
+					queue = append(queue, prev)
+				}
+			}
+		}
+		for _, sw := range t.switches {
+			d, ok := dist[sw.id]
+			if !ok {
+				continue
+			}
+			var nh []*Link
+			for _, e := range adj[sw.id] {
+				if dd, ok := dist[e.to]; ok && dd == d-1 {
+					nh = append(nh, e.link)
+				}
+			}
+			if len(nh) > 0 {
+				sw.routes[h.hostID] = nh
+			}
+		}
+	}
+}
+
+// LeafSpineConfig parameterizes the 2-tier Clos used throughout the paper's
+// evaluation (Fig. 4a): two leaves, two spines, two 40G trunks per
+// leaf–spine pair, 16 hosts per leaf at 10G.
+type LeafSpineConfig struct {
+	Leaves        int
+	Spines        int
+	TrunksPerPair int // parallel links between each leaf-spine pair
+	HostsPerLeaf  int
+	HostRateBps   int64
+	TrunkRateBps  int64
+	LinkDelay     sim.Time // per-hop propagation delay
+	QueueCap      int
+	ECNK          int // switch ECN marking threshold (packets)
+}
+
+// PaperTestbed returns the evaluation topology of Sec. 5 at the given rate
+// scale: scale=1.0 is the paper's 10G/40G testbed. Smaller scales keep the
+// ratios (bisection = 4 trunks, non-oversubscribed) while making packet-level
+// simulation cheap.
+func PaperTestbed(scale float64) LeafSpineConfig {
+	return LeafSpineConfig{
+		Leaves:        2,
+		Spines:        2,
+		TrunksPerPair: 2,
+		HostsPerLeaf:  16,
+		HostRateBps:   int64(10e9 * scale),
+		TrunkRateBps:  int64(40e9 * scale),
+		LinkDelay:     5 * sim.Microsecond,
+		QueueCap:      DefaultQueueCap,
+		ECNK:          20, // DCTCP-style threshold used by Clove-ECN (Sec. 3.2)
+	}
+}
+
+// ScaledTestbed returns the paper topology shrunk along two axes while
+// preserving its defining ratio — hosts per leaf × host rate = bisection
+// bandwidth (no oversubscription) — so the fabric, not the access links,
+// stays the contention point. scale multiplies link rates; hostsPerLeaf
+// shrinks the host count (paper: 16).
+func ScaledTestbed(scale float64, hostsPerLeaf int) LeafSpineConfig {
+	cfg := PaperTestbed(scale)
+	cfg.HostsPerLeaf = hostsPerLeaf
+	// 4 trunks total between the leaf pair: trunk rate = hosts*hostRate/4.
+	cfg.TrunkRateBps = int64(hostsPerLeaf) * cfg.HostRateBps /
+		int64(cfg.Spines*cfg.TrunksPerPair)
+	return cfg
+}
+
+// LeafSpine holds the constructed fabric plus name indexes.
+type LeafSpine struct {
+	*Topology
+	Cfg    LeafSpineConfig
+	Leaves []*Switch
+	Spines []*Switch
+}
+
+// BuildLeafSpine constructs the topology and computes initial routes.
+func BuildLeafSpine(s *sim.Simulator, cfg LeafSpineConfig) *LeafSpine {
+	t := NewTopology(s)
+	ls := &LeafSpine{Topology: t, Cfg: cfg}
+	for i := 0; i < cfg.Leaves; i++ {
+		ls.Leaves = append(ls.Leaves, t.AddSwitch(fmt.Sprintf("L%d", i+1)))
+	}
+	for i := 0; i < cfg.Spines; i++ {
+		ls.Spines = append(ls.Spines, t.AddSwitch(fmt.Sprintf("S%d", i+1)))
+	}
+	trunkCfg := LinkConfig{RateBps: cfg.TrunkRateBps, Delay: cfg.LinkDelay, QueueCap: cfg.QueueCap, ECNK: cfg.ECNK}
+	for _, lf := range ls.Leaves {
+		for _, sp := range ls.Spines {
+			for k := 0; k < cfg.TrunksPerPair; k++ {
+				t.Connect(lf, sp, k, trunkCfg)
+			}
+		}
+	}
+	upCfg := LinkConfig{RateBps: cfg.HostRateBps, Delay: cfg.LinkDelay, QueueCap: HostQdiscCap}
+	downCfg := LinkConfig{RateBps: cfg.HostRateBps, Delay: cfg.LinkDelay, QueueCap: cfg.QueueCap, ECNK: cfg.ECNK}
+	for li, lf := range ls.Leaves {
+		for j := 0; j < cfg.HostsPerLeaf; j++ {
+			t.AddHost(fmt.Sprintf("h%d", li*cfg.HostsPerLeaf+j), lf, upCfg, downCfg)
+		}
+	}
+	t.ComputeRoutes()
+	return ls
+}
+
+// FailPaperLink takes down one trunk between S2 and L2, the asymmetry used
+// in Sec. 5.2 and 6.2 (drops cross-leaf bandwidth by 25%).
+func (ls *LeafSpine) FailPaperLink() {
+	ls.SetLinkPairUp("L2", "S2", 0, false)
+}
+
+// BaseRTT estimates the unloaded round-trip time between hosts on different
+// leaves: 4 hops each way plus negligible serialization.
+func (ls *LeafSpine) BaseRTT() sim.Time {
+	// host->leaf->spine->leaf->host and back: 8 propagation delays, plus
+	// 8 serializations of an MTU packet (dominated by host links).
+	prop := 8 * ls.Cfg.LinkDelay
+	ser := 4*sim.TransmissionTime(packet.MTU+packet.EncapHeaderLen, ls.Cfg.HostRateBps) +
+		4*sim.TransmissionTime(packet.MTU+packet.EncapHeaderLen, ls.Cfg.TrunkRateBps)
+	return prop + ser
+}
+
+// BisectionBps returns the full inter-leaf bisection bandwidth with all
+// links up (paper: 160 Gbps).
+func (ls *LeafSpine) BisectionBps() int64 {
+	return int64(ls.Cfg.Spines*ls.Cfg.TrunksPerPair) * ls.Cfg.TrunkRateBps
+}

@@ -1,0 +1,174 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFiveTupleReverse(t *testing.T) {
+	ft := FiveTuple{Src: 1, Dst: 2, SrcPort: 100, DstPort: 200, Proto: ProtoTCP}
+	r := ft.Reverse()
+	if r.Src != 2 || r.Dst != 1 || r.SrcPort != 200 || r.DstPort != 100 {
+		t.Errorf("Reverse = %+v", r)
+	}
+	if r.Reverse() != ft {
+		t.Error("double Reverse is not identity")
+	}
+}
+
+func TestFlagsHas(t *testing.T) {
+	f := FlagSYN | FlagACK
+	if !f.Has(FlagSYN) || !f.Has(FlagACK) || !f.Has(FlagSYN|FlagACK) {
+		t.Error("Has missed set bits")
+	}
+	if f.Has(FlagFIN) || f.Has(FlagSYN|FlagFIN) {
+		t.Error("Has reported unset bits")
+	}
+}
+
+func TestSize(t *testing.T) {
+	p := &Packet{Kind: KindData, PayloadLen: 1000}
+	if got := p.Size(); got != InnerHeaderLen+1000 {
+		t.Errorf("bare data size = %d", got)
+	}
+	p.Encap = &Encap{}
+	if got := p.Size(); got != InnerHeaderLen+1000+EncapHeaderLen {
+		t.Errorf("encapped data size = %d", got)
+	}
+	probe := &Packet{Kind: KindProbe}
+	if got := probe.Size(); got != ProbePacketLen+EncapHeaderLen {
+		t.Errorf("probe size = %d", got)
+	}
+}
+
+func TestOuterTuple(t *testing.T) {
+	p := &Packet{Inner: FiveTuple{Src: 1, Dst: 2, SrcPort: 5, DstPort: 6, Proto: ProtoTCP}}
+	if p.OuterTuple() != p.Inner {
+		t.Error("bare packet outer tuple should be inner tuple")
+	}
+	if p.OuterDst() != 2 {
+		t.Error("bare OuterDst")
+	}
+	p.Encap = &Encap{SrcHyp: 10, DstHyp: 20, SrcPort: 50000, DstPort: 7471}
+	ot := p.OuterTuple()
+	if ot.Src != 10 || ot.Dst != 20 || ot.SrcPort != 50000 || ot.DstPort != 7471 {
+		t.Errorf("encap outer tuple = %+v", ot)
+	}
+	if p.OuterDst() != 20 {
+		t.Error("encap OuterDst")
+	}
+}
+
+func TestMarkCE(t *testing.T) {
+	// Encapsulated, outer ECT: marks the outer header only.
+	p := &Packet{Encap: &Encap{ECT: true}, InnerECT: true}
+	if !p.MarkCE() {
+		t.Fatal("ECT outer not markable")
+	}
+	if !p.Encap.CE || p.InnerCE {
+		t.Error("mark should hit outer header only")
+	}
+	if !p.CEMarked() {
+		t.Error("CEMarked false after mark")
+	}
+
+	// Encapsulated, outer not ECT: unmarkable even if inner is ECT.
+	p = &Packet{Encap: &Encap{ECT: false}, InnerECT: true}
+	if p.MarkCE() {
+		t.Error("non-ECT outer was marked")
+	}
+	if p.CEMarked() {
+		t.Error("CEMarked true without mark")
+	}
+
+	// Bare packet, inner ECT.
+	p = &Packet{InnerECT: true}
+	if !p.MarkCE() || !p.InnerCE || !p.CEMarked() {
+		t.Error("bare ECT packet marking failed")
+	}
+
+	// Bare packet, not ECT.
+	p = &Packet{}
+	if p.MarkCE() {
+		t.Error("non-ECT bare packet was marked")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := &Packet{
+		Kind:      KindData,
+		Inner:     FiveTuple{Src: 1, Dst: 2},
+		Encap:     &Encap{SrcPort: 1111, Feedback: Feedback{Valid: true, Port: 9}},
+		Conga:     &Conga{LBTag: 3, CEMetric: 0.5},
+		PathTrace: []LinkID{1, 2, 3},
+	}
+	q := p.Clone()
+	q.Encap.SrcPort = 2222
+	q.Conga.CEMetric = 0.9
+	q.PathTrace[0] = 99
+	if p.Encap.SrcPort != 1111 || p.Conga.CEMetric != 0.5 || p.PathTrace[0] != 1 {
+		t.Error("Clone shares state with original")
+	}
+	if q.Encap.Feedback.Port != 9 {
+		t.Error("Clone lost feedback")
+	}
+}
+
+func TestCloneNilOptionals(t *testing.T) {
+	p := &Packet{Kind: KindData}
+	q := p.Clone()
+	if q.Encap != nil || q.Conga != nil || q.PathTrace != nil {
+		t.Error("Clone invented optional fields")
+	}
+}
+
+func TestStringCoverage(t *testing.T) {
+	for _, p := range []*Packet{
+		{Kind: KindData, Inner: FiveTuple{Src: 1, Dst: 2}},
+		{Kind: KindProbe, ProbeID: 7, ProbePort: 100, TTL: 3},
+		{Kind: KindProbeEcho, ProbeID: 7, HopIndex: 2, EchoNode: 5},
+		{Kind: KindFeedback, Encap: &Encap{SrcHyp: 1, DstHyp: 2}},
+		{Kind: KindFeedback},
+	} {
+		if p.String() == "" {
+			t.Errorf("empty String for kind %d", p.Kind)
+		}
+	}
+}
+
+// Property: reversing a five-tuple twice is the identity.
+func TestQuickReverseInvolution(t *testing.T) {
+	f := func(src, dst int32, sp, dp uint16, proto uint8) bool {
+		ft := FiveTuple{Src: HostID(src), Dst: HostID(dst), SrcPort: sp, DstPort: dp, Proto: Proto(proto)}
+		return ft.Reverse().Reverse() == ft
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clone never aliases Encap/Conga, and Size is invariant under
+// Clone.
+func TestQuickCloneIndependence(t *testing.T) {
+	f := func(payload uint16, srcPort uint16, hasEncap bool) bool {
+		p := &Packet{Kind: KindData, PayloadLen: int(payload % 1460)}
+		if hasEncap {
+			p.Encap = &Encap{SrcPort: srcPort, ECT: true}
+		}
+		q := p.Clone()
+		if q.Size() != p.Size() {
+			return false
+		}
+		if hasEncap {
+			q.Encap.CE = true
+			if p.Encap.CE {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}

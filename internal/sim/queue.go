@@ -1,0 +1,56 @@
+package sim
+
+import "container/heap"
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among equal timestamps
+	fn  func()
+	// index within the heap, maintained by heap.Interface methods, so that
+	// cancellation can be O(log n). Negative once removed.
+	index int
+}
+
+// EventID identifies a scheduled event so it can be cancelled. The zero
+// EventID is never issued.
+type EventID struct{ ev *event }
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// remove deletes the event at index i.
+func (h *eventHeap) remove(i int) {
+	heap.Remove(h, i)
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Simulator is a single-threaded discrete-event scheduler. It owns the
+// virtual clock: time only advances when Run (or Step) pops the next event.
+//
+// Simulator is not safe for concurrent use; the simulated network is a
+// sequential program by design so that runs are reproducible.
+type Simulator struct {
+	now    Time
+	queue  eventHeap
+	nextID uint64
+	rng    *rand.Rand
+
+	processed uint64
+	running   bool
+	stopped   bool
+}
+
+// New returns a Simulator whose random source is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source. All randomness
+// in a run must come from here to keep runs reproducible.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Processed reports how many events have fired so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Pending reports how many events are scheduled but not yet fired.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past (before
+// Now) panics: it would violate causality and always indicates a bug.
+func (s *Simulator) At(at Time, fn func()) EventID {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	ev := &event{at: at, seq: s.nextID, fn: fn}
+	s.nextID++
+	heap.Push(&s.queue, ev)
+	return EventID{ev: ev}
+}
+
+// After schedules fn to run delay after the current time.
+func (s *Simulator) After(delay Time, fn func()) EventID {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op and reports false.
+func (s *Simulator) Cancel(id EventID) bool {
+	if id.ev == nil || id.ev.index < 0 {
+		return false
+	}
+	s.queue.remove(id.ev.index)
+	return true
+}
+
+// Step fires the single next event. It reports false when the queue is empty.
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*event)
+	s.now = ev.at
+	s.processed++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue is empty or Stop is called.
+func (s *Simulator) Run() {
+	s.runInternal(func() bool { return true })
+}
+
+// RunUntil fires events with timestamps <= deadline, then advances the clock
+// to exactly deadline. Events scheduled after deadline remain queued.
+func (s *Simulator) RunUntil(deadline Time) {
+	s.runInternal(func() bool { return s.queue[0].at <= deadline })
+	if !s.stopped && s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunForEvents fires at most n events; useful as a watchdog in tests.
+func (s *Simulator) RunForEvents(n uint64) {
+	fired := uint64(0)
+	s.runInternal(func() bool { fired++; return fired <= n })
+}
+
+func (s *Simulator) runInternal(cont func() bool) {
+	if s.running {
+		panic("sim: reentrant Run")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+	for len(s.queue) > 0 && !s.stopped {
+		if !cont() {
+			return
+		}
+		ev := heap.Pop(&s.queue).(*event)
+		s.now = ev.at
+		s.processed++
+		ev.fn()
+	}
+}
+
+// Stop makes the innermost Run/RunUntil return after the current event's
+// callback completes. Pending events stay queued.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Ticker invokes fn every interval, starting interval from now, until the
+// returned cancel function is called. fn observes the tick time via Now.
+func (s *Simulator) Ticker(interval Time, fn func()) (cancel func()) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker interval %v", interval))
+	}
+	stopped := false
+	var schedule func()
+	schedule = func() {
+		s.After(interval, func() {
+			if stopped {
+				return
+			}
+			fn()
+			if !stopped {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	return func() { stopped = true }
+}

@@ -1,0 +1,52 @@
+// Package sim provides the discrete-event simulation core used by the Clove
+// network emulator: a nanosecond-resolution virtual clock, a deterministic
+// event queue, and a seeded random source.
+//
+// All simulated subsystems (links, switches, TCP endpoints, virtual switches)
+// schedule callbacks on a single Simulator. Runs are fully deterministic for
+// a given seed: events with equal timestamps fire in scheduling order.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of the
+// run. It is deliberately distinct from time.Time: the simulation clock has
+// no relation to the wall clock.
+type Time int64
+
+// Common durations, expressed in simulated nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Duration converts t to a time.Duration for formatting and interop.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time using time.Duration notation (e.g. "1.5ms").
+func (t Time) String() string { return time.Duration(t).String() }
+
+// FromDuration converts a wall-clock style duration to simulated Time.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// FromSeconds converts floating-point seconds to simulated Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// TransmissionTime returns the time to serialize bytes onto a link of the
+// given rate in bits per second. It panics if rateBps is not positive,
+// because a zero-rate link would silently absorb all traffic.
+func TransmissionTime(bytes int, rateBps int64) Time {
+	if rateBps <= 0 {
+		panic(fmt.Sprintf("sim: non-positive link rate %d", rateBps))
+	}
+	bits := int64(bytes) * 8
+	return Time(bits * int64(Second) / rateBps)
+}

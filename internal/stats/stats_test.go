@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"clove/internal/sim"
+)
+
+func recWith(fcts ...sim.Time) *FCTRecorder {
+	r := &FCTRecorder{}
+	for _, f := range fcts {
+		r.Add(1000, f)
+	}
+	return r
+}
+
+func TestMean(t *testing.T) {
+	r := recWith(sim.Second, 3*sim.Second)
+	if got := r.Mean(); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if (&FCTRecorder{}).Mean() != 0 {
+		t.Error("empty Mean != 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	r := &FCTRecorder{}
+	for i := 1; i <= 100; i++ {
+		r.Add(1, sim.Time(i)*sim.Second)
+	}
+	if got := r.Percentile(0.5); got != 50 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := r.Percentile(0.99); got != 99 {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := r.Percentile(1); got != 100 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := r.Percentile(0.001); got != 1 {
+		t.Errorf("p0.1 = %v", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on p=0")
+		}
+	}()
+	recWith(sim.Second).Percentile(0)
+}
+
+func TestBuckets(t *testing.T) {
+	r := &FCTRecorder{}
+	r.Add(50_000, sim.Second)       // mouse
+	r.Add(500_000, 2*sim.Second)    // middle
+	r.Add(20_000_000, 3*sim.Second) // elephant
+	if got := r.Mice().Count(); got != 1 {
+		t.Errorf("mice = %d", got)
+	}
+	if got := r.Elephants().Count(); got != 1 {
+		t.Errorf("elephants = %d", got)
+	}
+	s := r.Summarize()
+	if s.MiceMeanSec != 1 || s.ElephMeanSec != 3 || s.Count != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	r := &FCTRecorder{}
+	for i := 1; i <= 1000; i++ {
+		r.Add(1, sim.Time(i)*sim.Millisecond)
+	}
+	cdf := r.CDF(10)
+	if len(cdf) != 10 {
+		t.Fatalf("cdf points = %d", len(cdf))
+	}
+	if cdf[len(cdf)-1].P != 1 {
+		t.Errorf("CDF does not end at 1: %v", cdf[len(cdf)-1])
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].P < cdf[i-1].P || cdf[i].Seconds < cdf[i-1].Seconds {
+			t.Errorf("CDF not monotone at %d", i)
+		}
+	}
+	if (&FCTRecorder{}).CDF(5) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []uint32, pa, pb uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := &FCTRecorder{}
+		var lo, hi sim.Time = 1 << 62, 0
+		for _, v := range raw {
+			ft := sim.Time(v%1_000_000) + 1
+			r.Add(1, ft)
+			if ft < lo {
+				lo = ft
+			}
+			if ft > hi {
+				hi = ft
+			}
+		}
+		p1 := float64(pa%1000+1) / 1000
+		p2 := float64(pb%1000+1) / 1000
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1, v2 := r.Percentile(p1), r.Percentile(p2)
+		return v1 <= v2 && v1 >= lo.Seconds() && v2 <= hi.Seconds()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CDF of sorted data matches sorted order.
+func TestQuickCDFMatchesSortedSamples(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		r := &FCTRecorder{}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			ft := sim.Time(v) + 1
+			r.Add(1, ft)
+			vals[i] = ft.Seconds()
+		}
+		sort.Float64s(vals)
+		cdf := r.CDF(len(raw))
+		for i, pt := range cdf {
+			if pt.Seconds != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaledBuckets(t *testing.T) {
+	r := &FCTRecorder{}
+	r.SetSizeScale(0.1)
+	r.Add(5_000, sim.Second)     // stands in for a 50KB mouse
+	r.Add(2_000_000, sim.Second) // stands in for a 20MB elephant
+	if r.Mice().Count() != 1 {
+		t.Errorf("scaled mice = %d", r.Mice().Count())
+	}
+	if r.Elephants().Count() != 1 {
+		t.Errorf("scaled elephants = %d", r.Elephants().Count())
+	}
+	// Nested buckets keep the scale.
+	if r.Elephants().Elephants().Count() != 1 {
+		t.Error("scale lost through Filter chain")
+	}
+	// Unscaled recorder uses absolute cutoffs.
+	u := &FCTRecorder{}
+	u.Add(2_000_000, sim.Second)
+	if u.Elephants().Count() != 0 {
+		t.Error("2MB counted as elephant without scaling")
+	}
+}

@@ -1,0 +1,72 @@
+// Package tcp models the tenant VM transport: a NewReno-style TCP sender and
+// receiver with ECN support, plus an MPTCP multipath sender. The model is
+// segment-level (no byte buffers): enough fidelity for ACK clocking, loss
+// recovery, ECN response, and the flowlet dynamics Clove depends on, while
+// staying fast inside the discrete-event simulator.
+//
+// Simplifications relative to a kernel stack, all documented in DESIGN.md:
+// connections start established (no SYN handshake), the receive window is
+// unbounded, and there is no SACK (NewReno partial-ACK recovery instead).
+package tcp
+
+import "clove/internal/sim"
+
+// Config holds the transport parameters shared by senders and receivers.
+type Config struct {
+	// MSS is the maximum segment payload in bytes.
+	MSS int
+	// InitCwnd is the initial congestion window in segments (RFC 6928: 10).
+	InitCwnd float64
+	// MinRTO clamps the retransmission timeout from below.
+	MinRTO sim.Time
+	// InitRTO is used before the first RTT sample.
+	InitRTO sim.Time
+	// MaxCwnd caps the window in segments (stands in for the receive window).
+	MaxCwnd float64
+	// ECN enables sender reaction to ECN-Echo and marks outgoing segments
+	// ECN-capable.
+	ECN bool
+	// SlowStartAfterIdle resets cwnd to InitCwnd when a connection has been
+	// idle for more than one RTO before new data arrives (RFC 2581 §4.1).
+	SlowStartAfterIdle bool
+	// DupAckThreshold triggers fast retransmit (normally 3).
+	DupAckThreshold int
+}
+
+// DefaultConfig returns datacenter-tuned parameters: 1460B MSS, IW10, 2 ms
+// minimum RTO (standard in DC TCP studies), ECN on.
+func DefaultConfig() Config {
+	return Config{
+		MSS:                1460,
+		InitCwnd:           10,
+		MinRTO:             2 * sim.Millisecond,
+		InitRTO:            10 * sim.Millisecond,
+		MaxCwnd:            256,
+		ECN:                true,
+		SlowStartAfterIdle: true,
+		DupAckThreshold:    3,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MSS == 0 {
+		c.MSS = d.MSS
+	}
+	if c.InitCwnd == 0 {
+		c.InitCwnd = d.InitCwnd
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = d.MinRTO
+	}
+	if c.InitRTO == 0 {
+		c.InitRTO = d.InitRTO
+	}
+	if c.MaxCwnd == 0 {
+		c.MaxCwnd = d.MaxCwnd
+	}
+	if c.DupAckThreshold == 0 {
+		c.DupAckThreshold = d.DupAckThreshold
+	}
+	return c
+}

@@ -1,0 +1,122 @@
+package tcp
+
+import (
+	"sort"
+
+	"clove/internal/packet"
+	"clove/internal/sim"
+)
+
+// ReceiverStats counts receive-side events.
+type ReceiverStats struct {
+	SegmentsReceived int64
+	OutOfOrder       int64
+	Duplicates       int64
+	AcksSent         int64
+	CESeen           int64
+	BytesDelivered   int64
+}
+
+// interval is a half-open received byte range [start, end).
+type interval struct{ start, end int64 }
+
+// Receiver is the data sink for one direction of a connection: it tracks the
+// in-order delivery point, buffers out-of-order segments, generates
+// cumulative ACKs, and echoes ECN congestion marks back to the sender
+// (ECE set on ACKs for marked segments, DCTCP-style per-packet echo).
+type Receiver struct {
+	sim  *sim.Simulator
+	cfg  Config
+	flow packet.FiveTuple // direction of the *data* (ACKs go the other way)
+
+	// Output transmits ACK segments toward the network.
+	Output func(*packet.Packet)
+
+	rcvNxt int64
+	ooo    []interval // sorted, disjoint, all > rcvNxt
+
+	stats ReceiverStats
+}
+
+// NewReceiver creates a receiver for data flowing along flow; ACKs are
+// emitted on the reverse tuple via output.
+func NewReceiver(s *sim.Simulator, cfg Config, flow packet.FiveTuple, output func(*packet.Packet)) *Receiver {
+	return &Receiver{sim: s, cfg: cfg.withDefaults(), flow: flow, Output: output}
+}
+
+// Stats returns a snapshot of the receiver counters.
+func (r *Receiver) Stats() ReceiverStats { return r.stats }
+
+// RcvNxt returns the next expected in-order byte.
+func (r *Receiver) RcvNxt() int64 { return r.rcvNxt }
+
+// OOOSegments reports how many disjoint out-of-order ranges are buffered.
+func (r *Receiver) OOOSegments() int { return len(r.ooo) }
+
+// HandleData processes an incoming (inner, already-decapsulated) data
+// segment and emits a cumulative ACK.
+func (r *Receiver) HandleData(pkt *packet.Packet) {
+	r.stats.SegmentsReceived++
+	if pkt.InnerCE {
+		r.stats.CESeen++
+	}
+	start, end := pkt.Seq, pkt.Seq+int64(pkt.PayloadLen)
+
+	switch {
+	case end <= r.rcvNxt:
+		r.stats.Duplicates++
+	case start > r.rcvNxt:
+		r.stats.OutOfOrder++
+		r.insertOOO(start, end)
+	default:
+		// Advances the in-order point; absorb any buffered continuation.
+		r.stats.BytesDelivered += end - r.rcvNxt
+		r.rcvNxt = end
+		r.drainOOO()
+	}
+	r.sendAck(pkt.InnerCE)
+}
+
+func (r *Receiver) insertOOO(start, end int64) {
+	r.ooo = append(r.ooo, interval{start, end})
+	sort.Slice(r.ooo, func(i, j int) bool { return r.ooo[i].start < r.ooo[j].start })
+	// Merge overlaps.
+	merged := r.ooo[:1]
+	for _, iv := range r.ooo[1:] {
+		last := &merged[len(merged)-1]
+		if iv.start <= last.end {
+			if iv.end > last.end {
+				last.end = iv.end
+			}
+		} else {
+			merged = append(merged, iv)
+		}
+	}
+	r.ooo = merged
+}
+
+func (r *Receiver) drainOOO() {
+	for len(r.ooo) > 0 && r.ooo[0].start <= r.rcvNxt {
+		if r.ooo[0].end > r.rcvNxt {
+			r.stats.BytesDelivered += r.ooo[0].end - r.rcvNxt
+			r.rcvNxt = r.ooo[0].end
+		}
+		r.ooo = r.ooo[1:]
+	}
+}
+
+func (r *Receiver) sendAck(ce bool) {
+	flags := packet.FlagACK
+	if ce && r.cfg.ECN {
+		flags |= packet.FlagECE
+	}
+	ack := &packet.Packet{
+		Kind:     packet.KindData,
+		Inner:    r.flow.Reverse(),
+		Ack:      r.rcvNxt,
+		Flags:    flags,
+		InnerECT: r.cfg.ECN,
+	}
+	r.stats.AcksSent++
+	r.Output(ack)
+}

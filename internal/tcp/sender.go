@@ -1,0 +1,387 @@
+package tcp
+
+import (
+	"fmt"
+
+	"clove/internal/packet"
+	"clove/internal/sim"
+)
+
+// job is one application-level transfer queued on a persistent connection.
+type job struct {
+	endSeq  int64 // stream offset after which the job is complete
+	arrival sim.Time
+	done    func(fct sim.Time)
+}
+
+// SenderStats counts transport events for diagnostics and tests.
+type SenderStats struct {
+	SegmentsSent    int64
+	Retransmits     int64
+	FastRetransmits int64
+	Timeouts        int64
+	ECNReductions   int64
+	BytesAcked      int64
+}
+
+// Sender is a NewReno TCP data sender for one direction of a connection.
+// Application jobs are byte ranges appended to a single stream (modelling
+// sequential RPCs on a persistent connection, as in the paper's workload).
+type Sender struct {
+	sim  *sim.Simulator
+	cfg  Config
+	flow packet.FiveTuple
+
+	// Output transmits a segment toward the network (the hypervisor
+	// vswitch installs itself here).
+	Output func(*packet.Packet)
+
+	// Stream state.
+	sndUna, sndNxt int64
+	sndLimit       int64 // total bytes the app has asked to send
+	jobs           []job
+
+	// Congestion control (cwnd in segments).
+	cwnd, ssthresh float64
+	dupAcks        int
+	inRecovery     bool
+	recover        int64
+	lastIdleCheck  sim.Time
+	lastSendTime   sim.Time
+
+	// RTT estimation (Karn: only time un-retransmitted segments).
+	srtt, rttvar sim.Time
+	rttSeq       int64
+	rttSentAt    sim.Time
+	rttValid     bool
+
+	// Retransmission timer.
+	rtoTimer   sim.EventID
+	rtoActive  bool
+	rtoBackoff int
+
+	// ECN.
+	lastECNCut sim.Time
+	sendCWR    bool
+
+	stats SenderStats
+}
+
+// NewSender creates a sender for flow, transmitting via output.
+func NewSender(s *sim.Simulator, cfg Config, flow packet.FiveTuple, output func(*packet.Packet)) *Sender {
+	cfg = cfg.withDefaults()
+	return &Sender{
+		sim:      s,
+		cfg:      cfg,
+		flow:     flow,
+		Output:   output,
+		cwnd:     cfg.InitCwnd,
+		ssthresh: cfg.MaxCwnd,
+	}
+}
+
+// Flow returns the sender's inner 5-tuple.
+func (s *Sender) Flow() packet.FiveTuple { return s.flow }
+
+// Stats returns a snapshot of the sender's counters.
+func (s *Sender) Stats() SenderStats { return s.stats }
+
+// Outstanding reports unacknowledged bytes.
+func (s *Sender) Outstanding() int64 { return s.sndNxt - s.sndUna }
+
+// Cwnd returns the congestion window in segments (for tests/telemetry).
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// Idle reports whether the sender has nothing outstanding and nothing queued.
+func (s *Sender) Idle() bool { return s.sndUna == s.sndLimit }
+
+// StartJob appends size bytes to the stream. done (optional) fires when the
+// last byte is acknowledged, with the flow completion time measured from
+// this call. Jobs queued behind earlier jobs include the queueing delay in
+// their FCT, matching the paper's job-completion-time metric.
+func (s *Sender) StartJob(size int64, done func(fct sim.Time)) {
+	if size <= 0 {
+		panic(fmt.Sprintf("tcp: job size %d", size))
+	}
+	if s.cfg.SlowStartAfterIdle && s.Idle() {
+		idle := s.sim.Now() - s.lastSendTime
+		rto := s.currentRTO()
+		if s.lastSendTime > 0 && idle > rto {
+			s.cwnd = s.cfg.InitCwnd
+			s.dupAcks = 0
+			s.inRecovery = false
+		}
+	}
+	s.sndLimit += size
+	s.jobs = append(s.jobs, job{endSeq: s.sndLimit, arrival: s.sim.Now(), done: done})
+	s.trySend()
+}
+
+// HandleAck processes an incoming (inner) ACK segment.
+func (s *Sender) HandleAck(pkt *packet.Packet) {
+	if !pkt.Flags.Has(packet.FlagACK) {
+		return
+	}
+	ack := pkt.Ack
+
+	if s.cfg.ECN && pkt.Flags.Has(packet.FlagECE) {
+		s.onECE()
+	}
+
+	switch {
+	case ack > s.sndUna:
+		s.onNewAck(ack)
+	case ack == s.sndUna && s.sndNxt > s.sndUna:
+		s.onDupAck()
+	}
+	s.trySend()
+}
+
+func (s *Sender) onNewAck(ack int64) {
+	acked := ack - s.sndUna
+	s.stats.BytesAcked += acked
+	s.sndUna = ack
+	s.dupAcks = 0
+
+	// RTT sample (Karn's rule: only if the timed segment wasn't rexmitted).
+	if s.rttValid && ack > s.rttSeq {
+		s.updateRTT(s.sim.Now() - s.rttSentAt)
+		s.rttValid = false
+	}
+	s.rtoBackoff = 0
+
+	if s.inRecovery {
+		if ack >= s.recover {
+			// Full recovery: deflate to ssthresh.
+			s.inRecovery = false
+			s.cwnd = s.ssthresh
+		} else {
+			// Partial ACK: retransmit the next hole, deflate partially.
+			s.retransmitFirst()
+			s.cwnd = minf(maxf(s.ssthresh, s.cwnd-float64(acked)/float64(s.cfg.MSS)+1), s.cfg.MaxCwnd)
+		}
+	} else if s.cwnd < s.ssthresh {
+		// Slow start: one segment per segment acked.
+		s.cwnd = minf(s.cwnd+float64(acked)/float64(s.cfg.MSS), s.cfg.MaxCwnd)
+	} else {
+		// Congestion avoidance: 1/cwnd per segment acked.
+		s.cwnd = minf(s.cwnd+float64(acked)/float64(s.cfg.MSS)/s.cwnd, s.cfg.MaxCwnd)
+	}
+
+	s.completeJobs()
+
+	if s.sndUna == s.sndNxt {
+		s.stopRTO()
+	} else {
+		s.restartRTO()
+	}
+}
+
+func (s *Sender) onDupAck() {
+	s.dupAcks++
+	if s.inRecovery {
+		// Window inflation during recovery lets new data flow, bounded by
+		// the receive-window stand-in.
+		s.cwnd = minf(s.cwnd+1, s.cfg.MaxCwnd)
+		return
+	}
+	if s.dupAcks >= s.cfg.DupAckThreshold {
+		// RFC 6582 "careful" variant: while still below the previous
+		// recovery point, these dupacks are echoes of segments retransmitted
+		// (or reordered) in the last episode — entering recovery again would
+		// cut the window repeatedly for one loss event.
+		if s.sndUna <= s.recover && s.recover > 0 {
+			return
+		}
+		// Fast retransmit + fast recovery.
+		s.stats.FastRetransmits++
+		s.ssthresh = maxf(s.flightSegments()/2, 2)
+		s.cwnd = s.ssthresh + float64(s.cfg.DupAckThreshold)
+		s.inRecovery = true
+		s.recover = s.sndNxt
+		s.retransmitFirst()
+		s.restartRTO()
+	}
+}
+
+func (s *Sender) onECE() {
+	// At most one multiplicative decrease per RTT (RFC 3168 behaviour).
+	rtt := s.srtt
+	if rtt == 0 {
+		rtt = s.cfg.InitRTO / 2
+	}
+	if s.sim.Now()-s.lastECNCut < rtt {
+		return
+	}
+	s.lastECNCut = s.sim.Now()
+	s.stats.ECNReductions++
+	s.ssthresh = maxf(s.cwnd/2, 2)
+	s.cwnd = s.ssthresh
+	s.sendCWR = true
+}
+
+func (s *Sender) completeJobs() {
+	for len(s.jobs) > 0 && s.sndUna >= s.jobs[0].endSeq {
+		j := s.jobs[0]
+		s.jobs = s.jobs[1:]
+		if j.done != nil {
+			j.done(s.sim.Now() - j.arrival)
+		}
+	}
+}
+
+func (s *Sender) flightSegments() float64 {
+	return float64(s.sndNxt-s.sndUna) / float64(s.cfg.MSS)
+}
+
+// trySend transmits as much new data as the window allows.
+func (s *Sender) trySend() {
+	for {
+		if s.sndNxt >= s.sndLimit {
+			return
+		}
+		if s.flightSegments() >= s.cwnd {
+			return
+		}
+		segLen := int(min64(int64(s.cfg.MSS), s.sndLimit-s.sndNxt))
+		s.emit(s.sndNxt, segLen, false)
+		s.sndNxt += int64(segLen)
+		if !s.rtoActive {
+			s.restartRTO()
+		}
+	}
+}
+
+// emit builds and transmits one segment.
+func (s *Sender) emit(seq int64, segLen int, isRexmit bool) {
+	flags := packet.TCPFlags(0)
+	if s.sendCWR {
+		flags |= packet.FlagCWR
+		s.sendCWR = false
+	}
+	// The last byte of the stream so far carries FIN semantics for the
+	// receiver's bookkeeping; harmless for middle jobs.
+	p := &packet.Packet{
+		Kind:       packet.KindData,
+		Inner:      s.flow,
+		Seq:        seq,
+		Flags:      flags,
+		PayloadLen: segLen,
+		InnerECT:   s.cfg.ECN,
+	}
+	s.stats.SegmentsSent++
+	if isRexmit {
+		s.stats.Retransmits++
+		// Karn: invalidate the RTT sample if we retransmitted into it.
+		if s.rttValid && seq <= s.rttSeq {
+			s.rttValid = false
+		}
+	} else if !s.rttValid {
+		s.rttSeq = seq
+		s.rttSentAt = s.sim.Now()
+		s.rttValid = true
+	}
+	s.lastSendTime = s.sim.Now()
+	s.Output(p)
+}
+
+func (s *Sender) retransmitFirst() {
+	segLen := int(min64(int64(s.cfg.MSS), s.sndLimit-s.sndUna))
+	if segLen <= 0 {
+		return
+	}
+	s.emit(s.sndUna, segLen, true)
+}
+
+// --- RTO management ---
+
+func (s *Sender) currentRTO() sim.Time {
+	var rto sim.Time
+	if s.srtt == 0 {
+		rto = s.cfg.InitRTO
+	} else {
+		rto = s.srtt + 4*s.rttvar
+	}
+	if rto < s.cfg.MinRTO {
+		rto = s.cfg.MinRTO
+	}
+	for i := 0; i < s.rtoBackoff; i++ {
+		rto *= 2
+		if rto > 60*sim.Second {
+			return 60 * sim.Second
+		}
+	}
+	return rto
+}
+
+func (s *Sender) restartRTO() {
+	s.stopRTO()
+	s.rtoActive = true
+	s.rtoTimer = s.sim.After(s.currentRTO(), s.onRTO)
+}
+
+func (s *Sender) stopRTO() {
+	if s.rtoActive {
+		s.sim.Cancel(s.rtoTimer)
+		s.rtoActive = false
+	}
+}
+
+func (s *Sender) onRTO() {
+	s.rtoActive = false
+	if s.sndUna == s.sndNxt {
+		return // everything acked in the meantime
+	}
+	s.stats.Timeouts++
+	s.ssthresh = maxf(s.flightSegments()/2, 2)
+	s.cwnd = 1
+	s.dupAcks = 0
+	s.inRecovery = false
+	s.rtoBackoff++
+	// Go-back-N restart: rewind transmission to the loss point.
+	s.sndNxt = s.sndUna
+	s.rttValid = false
+	s.trySend()
+	if s.sndUna != s.sndNxt {
+		s.restartRTO()
+	}
+}
+
+func (s *Sender) updateRTT(sample sim.Time) {
+	if s.srtt == 0 {
+		s.srtt = sample
+		s.rttvar = sample / 2
+		return
+	}
+	// RFC 6298 with alpha=1/8, beta=1/4.
+	d := s.srtt - sample
+	if d < 0 {
+		d = -d
+	}
+	s.rttvar = (3*s.rttvar + d) / 4
+	s.srtt = (7*s.srtt + sample) / 8
+}
+
+// SRTT returns the smoothed RTT estimate (0 before the first sample).
+func (s *Sender) SRTT() sim.Time { return s.srtt }
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,153 @@
+package tcp
+
+import (
+	"testing"
+
+	"clove/internal/packet"
+	"clove/internal/sim"
+)
+
+// TestCWRSetAfterECNReduction: the segment following an ECN-triggered
+// window cut must carry CWR, exactly once.
+func TestCWRSetAfterECNReduction(t *testing.T) {
+	s := sim.New(1)
+	var cwrCount int
+	flow := packet.FiveTuple{Src: 1, Dst: 2, SrcPort: 1, DstPort: 2, Proto: packet.ProtoTCP}
+	rev := &pipe{s: s, delay: 50 * sim.Microsecond}
+	fwd := &pipe{s: s, delay: 50 * sim.Microsecond}
+	snd := NewSender(s, DefaultConfig(), flow, func(p *packet.Packet) {
+		if p.Flags.Has(packet.FlagCWR) {
+			cwrCount++
+		}
+		fwd.send(p)
+	})
+	rcv := NewReceiver(s, DefaultConfig(), flow, rev.send)
+	fwd.deliver = func(p *packet.Packet) {
+		p.InnerCE = true // mark everything
+		rcv.HandleData(p)
+	}
+	rev.deliver = snd.HandleAck
+	snd.StartJob(500_000, nil)
+	s.RunUntil(50 * sim.Millisecond)
+	reductions := snd.Stats().ECNReductions
+	if reductions == 0 {
+		t.Fatal("no ECN reductions under universal marking")
+	}
+	if cwrCount == 0 {
+		t.Error("no CWR segments after reductions")
+	}
+	if cwrCount > int(reductions) {
+		t.Errorf("CWR on %d segments for %d reductions (must be <= 1 each)", cwrCount, reductions)
+	}
+}
+
+// TestECEEchoedOnlyWhenReceiverECNEnabled: the receiver echoes ECE per
+// marked segment only with ECN configured.
+func TestECEEchoedPerMarkedSegment(t *testing.T) {
+	s := sim.New(1)
+	flow := packet.FiveTuple{Src: 1, Dst: 2}
+	var eceAcks, acks int
+	r := NewReceiver(s, DefaultConfig(), flow, func(p *packet.Packet) {
+		acks++
+		if p.Flags.Has(packet.FlagECE) {
+			eceAcks++
+		}
+	})
+	for i := 0; i < 4; i++ {
+		r.HandleData(&packet.Packet{Inner: flow, Seq: int64(i * 100), PayloadLen: 100,
+			InnerCE: i%2 == 0})
+	}
+	if acks != 4 {
+		t.Fatalf("acks = %d", acks)
+	}
+	if eceAcks != 2 {
+		t.Errorf("ECE on %d/4 acks, want exactly the 2 marked ones", eceAcks)
+	}
+}
+
+// TestRecoveryNotReenteredBelowRecover exercises the RFC 6582 careful
+// variant directly: dupacks arriving after a recovery, while sndUna is
+// still at or below the old recovery point, must not trigger another
+// window cut.
+func TestRecoveryNotReenteredBelowRecover(t *testing.T) {
+	s := sim.New(1)
+	snd, _, fwd, _ := loop(s, DefaultConfig(), 50*sim.Microsecond)
+	dropped := 0
+	fwd.intercept = func(p *packet.Packet) bool {
+		// Drop two separated segments in the same window.
+		if (p.Seq == 14600 || p.Seq == 29200) && dropped < 2 {
+			dropped++
+			return false
+		}
+		return true
+	}
+	snd.StartJob(300_000, nil)
+	s.RunUntil(5 * sim.Second)
+	st := snd.Stats()
+	if st.FastRetransmits != 1 {
+		t.Errorf("fast retransmits = %d, want 1 (one loss event, careful re-entry)", st.FastRetransmits)
+	}
+}
+
+// TestRTOBackoffDoubles verifies exponential backoff across consecutive
+// timeouts.
+func TestRTOBackoffDoubles(t *testing.T) {
+	s := sim.New(1)
+	cfg := cfgMinRTO(sim.Millisecond)
+	cfg.InitRTO = sim.Millisecond // no RTT samples will arrive
+	blocked := true
+	flow := packet.FiveTuple{Src: 1, Dst: 2}
+	var sendTimes []sim.Time
+	snd := NewSender(s, cfg, flow, func(p *packet.Packet) {
+		if blocked {
+			sendTimes = append(sendTimes, s.Now())
+			return // blackhole
+		}
+	})
+	snd.StartJob(100, nil)
+	s.RunUntil(40 * sim.Millisecond)
+	if snd.Stats().Timeouts < 3 {
+		t.Fatalf("timeouts = %d, want several", snd.Stats().Timeouts)
+	}
+	// Gaps between successive retransmissions must grow.
+	if len(sendTimes) < 4 {
+		t.Fatalf("sends = %d", len(sendTimes))
+	}
+	g1 := sendTimes[2] - sendTimes[1]
+	g2 := sendTimes[3] - sendTimes[2]
+	if g2 < g1*3/2 {
+		t.Errorf("backoff gaps %v then %v: not doubling", g1, g2)
+	}
+}
+
+// TestJobFCTIncludesQueueing: a job queued behind a long job has an FCT
+// that includes the wait, per the paper's job-completion-time metric.
+func TestJobFCTIncludesQueueing(t *testing.T) {
+	s := sim.New(1)
+	snd, _, _, _ := loop(s, DefaultConfig(), 100*sim.Microsecond)
+	var first, second sim.Time
+	snd.StartJob(1_000_000, func(d sim.Time) { first = d })
+	snd.StartJob(1_000, func(d sim.Time) { second = d })
+	s.RunUntil(10 * sim.Second)
+	if first == 0 || second == 0 {
+		t.Fatal("jobs incomplete")
+	}
+	if second < first {
+		t.Errorf("queued 1KB job FCT %v < preceding 1MB job FCT %v", second, first)
+	}
+}
+
+// TestMPTCPOutstandingAccounting sanity-checks the aggregate accounting.
+func TestMPTCPOutstandingAccounting(t *testing.T) {
+	s := sim.New(1)
+	base := packet.FiveTuple{Src: 1, Dst: 2, SrcPort: 100, DstPort: 200}
+	blackhole := func(*packet.Packet) {}
+	mp := NewMPSender(s, DefaultConfig(), base, 4, blackhole)
+	mp.StartJob(1_000_000, nil)
+	s.RunUntil(sim.Millisecond)
+	out := mp.Outstanding()
+	// 4 subflows x IW10 x MSS = at most 58400 bytes in flight initially.
+	if out <= 0 || out > 4*10*1460 {
+		t.Errorf("outstanding = %d, want (0, 58400]", out)
+	}
+}

@@ -1,0 +1,402 @@
+package tcp
+
+import (
+	"testing"
+
+	"clove/internal/packet"
+	"clove/internal/sim"
+)
+
+// pipe is a minimal test network: fixed one-way delay, optional per-packet
+// hooks for dropping, marking, or reordering.
+type pipe struct {
+	s     *sim.Simulator
+	delay sim.Time
+	// intercept can mutate the packet or return false to drop it.
+	intercept func(*packet.Packet) bool
+	deliver   func(*packet.Packet)
+}
+
+func (p *pipe) send(pkt *packet.Packet) {
+	if p.intercept != nil && !p.intercept(pkt) {
+		return
+	}
+	p.s.After(p.delay, func() { p.deliver(pkt) })
+}
+
+// loop wires a sender and receiver over two pipes and returns them.
+func loop(s *sim.Simulator, cfg Config, delay sim.Time) (*Sender, *Receiver, *pipe, *pipe) {
+	flow := packet.FiveTuple{Src: 1, Dst: 2, SrcPort: 100, DstPort: 200, Proto: packet.ProtoTCP}
+	fwd := &pipe{s: s, delay: delay}
+	rev := &pipe{s: s, delay: delay}
+	snd := NewSender(s, cfg, flow, fwd.send)
+	rcv := NewReceiver(s, cfg, flow, rev.send)
+	fwd.deliver = rcv.HandleData
+	rev.deliver = snd.HandleAck
+	return snd, rcv, fwd, rev
+}
+
+func TestBasicTransferCompletes(t *testing.T) {
+	s := sim.New(1)
+	snd, rcv, _, _ := loop(s, DefaultConfig(), 50*sim.Microsecond)
+	var fct sim.Time = -1
+	snd.StartJob(100_000, func(d sim.Time) { fct = d })
+	s.RunUntil(5 * sim.Second)
+	if fct < 0 {
+		t.Fatal("job did not complete")
+	}
+	if rcv.RcvNxt() != 100_000 {
+		t.Errorf("receiver got %d bytes", rcv.RcvNxt())
+	}
+	if got := rcv.Stats().BytesDelivered; got != 100_000 {
+		t.Errorf("delivered %d bytes", got)
+	}
+	if snd.Stats().Retransmits != 0 {
+		t.Errorf("unexpected retransmits on clean pipe: %d", snd.Stats().Retransmits)
+	}
+}
+
+func TestSmallJobSingleSegment(t *testing.T) {
+	s := sim.New(1)
+	snd, rcv, _, _ := loop(s, DefaultConfig(), 10*sim.Microsecond)
+	done := false
+	snd.StartJob(1, func(sim.Time) { done = true })
+	s.RunUntil(time100ms())
+	if !done || rcv.RcvNxt() != 1 {
+		t.Fatalf("1-byte job: done=%v rcvNxt=%d", done, rcv.RcvNxt())
+	}
+}
+
+func time100ms() sim.Time { return 100 * sim.Millisecond }
+
+// cfgMinRTO returns the default config with an overridden minimum RTO.
+func cfgMinRTO(rto sim.Time) Config {
+	cfg := DefaultConfig()
+	cfg.MinRTO = rto
+	return cfg
+}
+
+func TestSequentialJobsOnPersistentConnection(t *testing.T) {
+	s := sim.New(1)
+	snd, _, _, _ := loop(s, DefaultConfig(), 20*sim.Microsecond)
+	var fcts []sim.Time
+	for i := 0; i < 3; i++ {
+		snd.StartJob(50_000, func(d sim.Time) { fcts = append(fcts, d) })
+	}
+	s.RunUntil(5 * sim.Second)
+	if len(fcts) != 3 {
+		t.Fatalf("completed %d/3 jobs", len(fcts))
+	}
+	// Later jobs queued behind earlier ones: FCT must be non-decreasing.
+	if fcts[1] < fcts[0] || fcts[2] < fcts[1] {
+		t.Errorf("queued jobs have shrinking FCTs: %v", fcts)
+	}
+}
+
+func TestSlowStartGrowth(t *testing.T) {
+	s := sim.New(1)
+	snd, _, _, _ := loop(s, DefaultConfig(), 100*sim.Microsecond)
+	snd.StartJob(1_000_000, nil)
+	start := snd.Cwnd()
+	s.RunUntil(3 * sim.Millisecond) // several RTTs
+	if snd.Cwnd() <= start*2 {
+		t.Errorf("cwnd %v -> %v: slow start did not grow exponentially", start, snd.Cwnd())
+	}
+}
+
+func TestRTTEstimate(t *testing.T) {
+	s := sim.New(1)
+	snd, _, _, _ := loop(s, DefaultConfig(), 250*sim.Microsecond)
+	snd.StartJob(100_000, nil)
+	s.RunUntil(sim.Second)
+	srtt := snd.SRTT()
+	if srtt < 450*sim.Microsecond || srtt > 650*sim.Microsecond {
+		t.Errorf("SRTT = %v, want ~500us", srtt)
+	}
+}
+
+func TestLossRecoveryByFastRetransmit(t *testing.T) {
+	s := sim.New(1)
+	snd, rcv, fwd, _ := loop(s, DefaultConfig(), 50*sim.Microsecond)
+	dropped := false
+	fwd.intercept = func(p *packet.Packet) bool {
+		// Drop exactly one mid-stream segment.
+		if !dropped && p.Seq == 14600 {
+			dropped = true
+			return false
+		}
+		return true
+	}
+	var fct sim.Time = -1
+	snd.StartJob(200_000, func(d sim.Time) { fct = d })
+	s.RunUntil(5 * sim.Second)
+	if fct < 0 {
+		t.Fatal("did not recover from single loss")
+	}
+	if !dropped {
+		t.Fatal("test never dropped the segment")
+	}
+	if snd.Stats().FastRetransmits == 0 {
+		t.Error("recovered without fast retransmit (RTO instead?)")
+	}
+	if rcv.RcvNxt() != 200_000 {
+		t.Errorf("receiver at %d", rcv.RcvNxt())
+	}
+}
+
+func TestBurstLossRecoveredByRTO(t *testing.T) {
+	s := sim.New(1)
+	snd, _, fwd, _ := loop(s, cfgMinRTO(sim.Millisecond), 50*sim.Microsecond)
+	var blocked bool
+	fwd.intercept = func(p *packet.Packet) bool { return !blocked }
+	var fct sim.Time = -1
+	snd.StartJob(50_000, func(d sim.Time) { fct = d })
+	// Blackhole everything briefly from the start of recovery window.
+	s.At(100*sim.Microsecond, func() { blocked = true })
+	s.At(5*sim.Millisecond, func() { blocked = false })
+	s.RunUntil(10 * sim.Second)
+	if fct < 0 {
+		t.Fatal("did not recover from blackhole")
+	}
+	if snd.Stats().Timeouts == 0 {
+		t.Error("no RTO recorded across a blackhole")
+	}
+}
+
+func TestECNHalvesWindow(t *testing.T) {
+	s := sim.New(1)
+	snd, _, fwd, _ := loop(s, DefaultConfig(), 100*sim.Microsecond)
+	marking := false
+	fwd.intercept = func(p *packet.Packet) bool {
+		if marking && p.InnerECT {
+			p.InnerCE = true
+		}
+		return true
+	}
+	snd.StartJob(1_000_000_000, nil) // effectively unbounded for this test
+	var before float64
+	s.At(sim.Millisecond, func() {
+		before = snd.Cwnd()
+		marking = true
+	})
+	var after float64
+	s.At(2*sim.Millisecond, func() { after = snd.Cwnd() })
+	s.RunUntil(2 * sim.Millisecond)
+	if snd.Stats().ECNReductions == 0 {
+		t.Fatal("no ECN reduction")
+	}
+	if after >= before {
+		t.Errorf("cwnd %v -> %v under ECN marking", before, after)
+	}
+}
+
+func TestECNDisabledIgnoresECE(t *testing.T) {
+	s := sim.New(1)
+	cfg := Config{ECN: false, MSS: 1460, InitCwnd: 10, MinRTO: 2 * sim.Millisecond,
+		InitRTO: 10 * sim.Millisecond, MaxCwnd: 1024, DupAckThreshold: 3}
+	snd, _, fwd, _ := loop(s, cfg, 100*sim.Microsecond)
+	fwd.intercept = func(p *packet.Packet) bool {
+		p.InnerCE = true
+		return true
+	}
+	snd.StartJob(1_000_000, nil)
+	s.RunUntil(20 * sim.Millisecond)
+	if snd.Stats().ECNReductions != 0 {
+		t.Error("ECN-disabled sender reduced on ECE")
+	}
+}
+
+func TestReorderingTriggersDupAcksButRecovers(t *testing.T) {
+	s := sim.New(1)
+	snd, rcv, fwd, _ := loop(s, DefaultConfig(), 50*sim.Microsecond)
+	// Delay one segment by 400us: it arrives out of order.
+	delayedOnce := false
+	fwd.intercept = func(p *packet.Packet) bool {
+		if !delayedOnce && p.Seq == 29200 {
+			delayedOnce = true
+			s.After(400*sim.Microsecond, func() { fwd.deliver(p) })
+			return false
+		}
+		return true
+	}
+	var fct sim.Time = -1
+	snd.StartJob(300_000, func(d sim.Time) { fct = d })
+	s.RunUntil(5 * sim.Second)
+	if fct < 0 {
+		t.Fatal("did not complete under reordering")
+	}
+	if rcv.Stats().OutOfOrder == 0 {
+		t.Error("receiver saw no out-of-order segments")
+	}
+	if rcv.RcvNxt() != 300_000 {
+		t.Errorf("rcvNxt = %d", rcv.RcvNxt())
+	}
+}
+
+func TestReceiverOOOMerging(t *testing.T) {
+	s := sim.New(1)
+	flow := packet.FiveTuple{Src: 1, Dst: 2}
+	var acks []int64
+	r := NewReceiver(s, DefaultConfig(), flow, func(p *packet.Packet) { acks = append(acks, p.Ack) })
+	seg := func(seq int64, n int) *packet.Packet {
+		return &packet.Packet{Inner: flow, Seq: seq, PayloadLen: n}
+	}
+	r.HandleData(seg(2000, 1000)) // hole at 0
+	r.HandleData(seg(4000, 1000)) // second hole
+	r.HandleData(seg(3000, 1000)) // bridges 2000-5000
+	if r.OOOSegments() != 1 {
+		t.Errorf("ooo segments = %d, want 1 merged", r.OOOSegments())
+	}
+	r.HandleData(seg(0, 2000)) // fills the head hole
+	if r.RcvNxt() != 5000 {
+		t.Errorf("rcvNxt = %d, want 5000", r.RcvNxt())
+	}
+	if r.OOOSegments() != 0 {
+		t.Error("ooo buffer not drained")
+	}
+	if got := acks[len(acks)-1]; got != 5000 {
+		t.Errorf("last ack = %d", got)
+	}
+	// Pure duplicate.
+	r.HandleData(seg(0, 1000))
+	if r.Stats().Duplicates != 1 {
+		t.Error("duplicate not counted")
+	}
+}
+
+func TestSlowStartAfterIdle(t *testing.T) {
+	s := sim.New(1)
+	snd, _, _, _ := loop(s, DefaultConfig(), 50*sim.Microsecond)
+	snd.StartJob(2_000_000, nil)
+	s.RunUntil(2 * sim.Second)
+	grown := snd.Cwnd()
+	if grown <= 10 {
+		t.Skipf("window did not grow (%v); cannot test idle reset", grown)
+	}
+	// Long idle, then a new job: cwnd must reset to initial.
+	s.At(s.Now()+sim.Second, func() {
+		snd.StartJob(1000, nil)
+		if snd.Cwnd() != 10 {
+			t.Errorf("cwnd after idle = %v, want 10", snd.Cwnd())
+		}
+	})
+	s.RunUntil(s.Now() + 2*sim.Second)
+}
+
+func TestExactlyOnceInOrderDeliveryUnderRandomLoss(t *testing.T) {
+	s := sim.New(99)
+	snd, rcv, fwd, rev := loop(s, cfgMinRTO(sim.Millisecond), 30*sim.Microsecond)
+	rng := s.Rand()
+	fwd.intercept = func(p *packet.Packet) bool { return rng.Float64() > 0.03 }
+	rev.intercept = func(p *packet.Packet) bool { return rng.Float64() > 0.03 }
+	const total = 500_000
+	var fct sim.Time = -1
+	snd.StartJob(total, func(d sim.Time) { fct = d })
+	s.RunUntil(60 * sim.Second)
+	if fct < 0 {
+		t.Fatalf("lossy transfer incomplete: una=%d nxt=%d", snd.sndUna, snd.sndNxt)
+	}
+	if rcv.RcvNxt() != total {
+		t.Errorf("rcvNxt = %d, want %d", rcv.RcvNxt(), total)
+	}
+	if rcv.Stats().BytesDelivered != total {
+		t.Errorf("delivered %d bytes exactly-once, want %d", rcv.Stats().BytesDelivered, total)
+	}
+	if snd.Stats().Retransmits == 0 {
+		t.Error("lossy run had zero retransmits — loss injection broken?")
+	}
+}
+
+func TestStartJobPanicsOnNonPositive(t *testing.T) {
+	s := sim.New(1)
+	snd, _, _, _ := loop(s, DefaultConfig(), sim.Microsecond)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for size 0")
+		}
+	}()
+	snd.StartJob(0, nil)
+}
+
+// --- MPTCP ---
+
+// mpLoop wires an MPSender to a single receiver per subflow over shared pipes.
+func mpLoop(s *sim.Simulator, n int, delay sim.Time, perSubflowDelay map[uint16]sim.Time) (*MPSender, map[uint16]*Receiver) {
+	base := packet.FiveTuple{Src: 1, Dst: 2, SrcPort: 100, DstPort: 200, Proto: packet.ProtoTCP}
+	receivers := map[uint16]*Receiver{}
+	var mp *MPSender
+	fwd := func(p *packet.Packet) {
+		d := delay
+		if pd, ok := perSubflowDelay[p.Inner.SrcPort]; ok {
+			d = pd
+		}
+		s.After(d, func() { receivers[p.Inner.SrcPort].HandleData(p) })
+	}
+	mp = NewMPSender(s, DefaultConfig(), base, n, fwd)
+	for _, sub := range mp.Subflows() {
+		ft := sub.Flow()
+		port := ft.SrcPort
+		receivers[port] = NewReceiver(s, DefaultConfig(), ft, func(p *packet.Packet) {
+			d := delay
+			if pd, ok := perSubflowDelay[p.Inner.DstPort]; ok {
+				d = pd
+			}
+			s.After(d, func() { mp.HandleAck(p) })
+		})
+	}
+	return mp, receivers
+}
+
+func TestMPTCPTransferCompletes(t *testing.T) {
+	s := sim.New(1)
+	mp, receivers := mpLoop(s, 4, 50*sim.Microsecond, nil)
+	var fct sim.Time = -1
+	mp.StartJob(1_000_000, func(d sim.Time) { fct = d })
+	s.RunUntil(30 * sim.Second)
+	if fct < 0 {
+		t.Fatal("MPTCP job incomplete")
+	}
+	var total int64
+	active := 0
+	for _, r := range receivers {
+		total += r.Stats().BytesDelivered
+		if r.Stats().BytesDelivered > 0 {
+			active++
+		}
+	}
+	if total != 1_000_000 {
+		t.Errorf("delivered %d bytes across subflows", total)
+	}
+	if active < 2 {
+		t.Errorf("only %d subflows carried data; scheduler not spreading", active)
+	}
+}
+
+func TestMPTCPPrefersFasterSubflow(t *testing.T) {
+	s := sim.New(1)
+	slow := map[uint16]sim.Time{100: 2 * sim.Millisecond} // subflow 0 is slow
+	mp, receivers := mpLoop(s, 2, 50*sim.Microsecond, slow)
+	var fct sim.Time = -1
+	mp.StartJob(2_000_000, func(d sim.Time) { fct = d })
+	s.RunUntil(60 * sim.Second)
+	if fct < 0 {
+		t.Fatal("incomplete")
+	}
+	if receivers[101].Stats().BytesDelivered <= receivers[100].Stats().BytesDelivered {
+		t.Errorf("fast subflow carried %d <= slow subflow %d",
+			receivers[101].Stats().BytesDelivered, receivers[100].Stats().BytesDelivered)
+	}
+}
+
+func TestMPTCPSequentialJobs(t *testing.T) {
+	s := sim.New(1)
+	mp, _ := mpLoop(s, 4, 50*sim.Microsecond, nil)
+	count := 0
+	for i := 0; i < 3; i++ {
+		mp.StartJob(100_000, func(sim.Time) { count++ })
+	}
+	s.RunUntil(30 * sim.Second)
+	if count != 3 {
+		t.Errorf("completed %d/3 MPTCP jobs", count)
+	}
+}

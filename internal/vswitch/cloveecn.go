@@ -1,0 +1,126 @@
+package vswitch
+
+import (
+	"clove/internal/clove"
+	"clove/internal/packet"
+	"clove/internal/sim"
+)
+
+// CloveECN is the paper's primary deployable scheme (Sec. 3.2): weighted
+// round-robin over discovered paths, with path weights reduced on ECN
+// feedback and the remainder redistributed to uncongested paths.
+type CloveECN struct {
+	cfg    clove.WeightTableConfig
+	tables map[packet.HostID]*clove.WeightTable
+}
+
+// NewCloveECN creates the policy; cfg controls the weight-adjustment rule.
+func NewCloveECN(cfg clove.WeightTableConfig) *CloveECN {
+	return &CloveECN{cfg: cfg, tables: map[packet.HostID]*clove.WeightTable{}}
+}
+
+// Name implements PathPolicy.
+func (*CloveECN) Name() string { return "clove-ecn" }
+
+// Table returns the weight table for dst (nil before discovery) — exposed
+// for tests and telemetry.
+func (c *CloveECN) Table(dst packet.HostID) *clove.WeightTable { return c.tables[dst] }
+
+// PickPort implements PathPolicy: weighted round-robin across discovered
+// paths. Before discovery completes it degrades to Edge-Flowlet behaviour
+// so traffic keeps flowing.
+func (c *CloveECN) PickPort(dst packet.HostID, flow packet.FiveTuple, flowletID uint32) uint16 {
+	t := c.tables[dst]
+	if t == nil || t.Len() == 0 {
+		return portHash(flow, flowletID+1)
+	}
+	return t.NextPort()
+}
+
+// OnFeedback implements PathPolicy: ECN feedback reduces the path's weight.
+func (c *CloveECN) OnFeedback(dst packet.HostID, fb packet.Feedback, now sim.Time) {
+	t := c.tables[dst]
+	if t == nil || !fb.Valid {
+		return
+	}
+	if fb.ECN {
+		t.OnCongestion(fb.Port, now)
+	}
+	if fb.HasUtil {
+		t.OnUtilization(fb.Port, fb.Util, now)
+	}
+}
+
+// SetPaths implements PathPolicy, preserving state across rediscovery.
+func (c *CloveECN) SetPaths(dst packet.HostID, ports []uint16) {
+	if t := c.tables[dst]; t != nil {
+		t.SetPorts(ports)
+		return
+	}
+	c.tables[dst] = clove.NewWeightTable(c.cfg, ports)
+}
+
+// AllCongested implements PathPolicy.
+func (c *CloveECN) AllCongested(dst packet.HostID, now sim.Time) bool {
+	t := c.tables[dst]
+	return t != nil && t.AllCongested(now)
+}
+
+// CloveINT is the forward-looking variant (Sec. 3.2): the destination
+// reflects INT-measured maximum path utilization, and new flowlets go to
+// the least-utilized path.
+type CloveINT struct {
+	cfg    clove.WeightTableConfig
+	tables map[packet.HostID]*clove.WeightTable
+	now    func() sim.Time
+}
+
+// NewCloveINT creates the policy. now provides the simulation clock (the
+// least-utilized choice needs sample freshness).
+func NewCloveINT(cfg clove.WeightTableConfig, now func() sim.Time) *CloveINT {
+	return &CloveINT{cfg: cfg, tables: map[packet.HostID]*clove.WeightTable{}, now: now}
+}
+
+// Name implements PathPolicy.
+func (*CloveINT) Name() string { return "clove-int" }
+
+// Table returns the weight table for dst (nil before discovery).
+func (c *CloveINT) Table(dst packet.HostID) *clove.WeightTable { return c.tables[dst] }
+
+// PickPort implements PathPolicy: least utilized discovered path.
+func (c *CloveINT) PickPort(dst packet.HostID, flow packet.FiveTuple, flowletID uint32) uint16 {
+	t := c.tables[dst]
+	if t == nil || t.Len() == 0 {
+		return portHash(flow, flowletID+1)
+	}
+	return t.LeastUtilizedPort(c.now())
+}
+
+// OnFeedback implements PathPolicy: records reflected path utilization.
+func (c *CloveINT) OnFeedback(dst packet.HostID, fb packet.Feedback, now sim.Time) {
+	t := c.tables[dst]
+	if t == nil || !fb.Valid {
+		return
+	}
+	if fb.HasUtil {
+		t.OnUtilization(fb.Port, fb.Util, now)
+	}
+	if fb.ECN {
+		t.OnCongestion(fb.Port, now)
+	}
+}
+
+// SetPaths implements PathPolicy.
+func (c *CloveINT) SetPaths(dst packet.HostID, ports []uint16) {
+	if t := c.tables[dst]; t != nil {
+		t.SetPorts(ports)
+		return
+	}
+	c.tables[dst] = clove.NewWeightTable(c.cfg, ports)
+}
+
+// AllCongested implements PathPolicy.
+func (c *CloveINT) AllCongested(dst packet.HostID, now sim.Time) bool {
+	t := c.tables[dst]
+	return t != nil && t.AllCongested(now)
+}

@@ -1,0 +1,23 @@
+package vswitch
+
+import (
+	"clove/internal/clove"
+	"clove/internal/packet"
+	"clove/internal/sim"
+)
+
+// newFlowletShim wraps the clove flowlet table behind the small interface
+// the vswitch needs: touch returns a pointer to the entry's pinned port so
+// the caller writes the choice back for new flowlets.
+func newFlowletShim(gap sim.Time) *flowletTableShim {
+	t := clove.NewFlowletTable(gap)
+	return &flowletTableShim{
+		touch: func(flow packet.FiveTuple, now sim.Time) (*uint16, uint32, bool) {
+			e, isNew := t.Touch(flow, now)
+			return &e.Port, e.ID, isNew
+		},
+		count:  t.Flowlets,
+		setGap: t.SetGap,
+		gap:    t.Gap,
+	}
+}

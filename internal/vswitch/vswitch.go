@@ -1,0 +1,474 @@
+package vswitch
+
+import (
+	"fmt"
+	"sort"
+
+	"clove/internal/netem"
+	"clove/internal/packet"
+	"clove/internal/sim"
+)
+
+// Config parameterizes a virtual switch.
+type Config struct {
+	// EncapDstPort is the fixed outer destination port of the overlay
+	// protocol (STT's well-known port by default).
+	EncapDstPort uint16
+	// FlowletGap is the inter-packet idle time that starts a new flowlet
+	// (paper recommendation: one to two RTTs, Fig. 6).
+	FlowletGap sim.Time
+	// RelayInterval is the minimum spacing between feedback relays for any
+	// one path ("half the RTT" per Sec. 3.2).
+	RelayInterval sim.Time
+	// MaskECN hides underlay CE marks from the tenant VM unless every path
+	// to the peer is congested (the Clove behaviour). When false, CE is
+	// copied to the inner header on decapsulation per RFC 6040 (standard
+	// overlay behaviour, used for ECMP/Edge-Flowlet/Presto/MPTCP runs).
+	MaskECN bool
+	// RequestINT makes outgoing data packets carry INT instructions so
+	// switches stamp max link utilization (Clove-INT).
+	RequestINT bool
+	// MeasureLatency timestamps outgoing packets at encapsulation and has
+	// the receiving hypervisor reflect the measured one-way path delay as
+	// the path metric — the Sec. 7 "use of path latency" variant, which
+	// needs only NIC timestamping and clock sync instead of INT switches.
+	MeasureLatency bool
+	// StandaloneFeedback sends a dedicated feedback packet when congestion
+	// was observed but no reverse traffic appeared within RelayInterval.
+	StandaloneFeedback bool
+	// AdaptiveFlowletGap grows the flowlet gap with the measured spread of
+	// path delays (Sec. 7 "Flowlet optimization": adapt the gap to the RTT
+	// variance across paths so flowlets rarely arrive out of order).
+	// Effective only together with MeasureLatency, which produces the
+	// delay samples.
+	AdaptiveFlowletGap bool
+}
+
+// DefaultConfig returns Clove-ECN defaults scaled to the given base RTT.
+func DefaultConfig(rtt sim.Time) Config {
+	return Config{
+		EncapDstPort:       7471,
+		FlowletGap:         rtt,
+		RelayInterval:      rtt / 2,
+		MaskECN:            true,
+		StandaloneFeedback: true,
+	}
+}
+
+// Stats counts vswitch-level events.
+type Stats struct {
+	Encapped           int64
+	Decapped           int64
+	CEObserved         int64 // outer CE marks intercepted at the receiver
+	FeedbackPiggy      int64 // feedback piggybacked on reverse traffic
+	FeedbackStandalone int64
+	FeedbackReceived   int64
+	ECNMasked          int64 // CE marks hidden from the tenant VM
+	ECNRelayedToVM     int64 // ECE set on inner ACKs (all paths congested)
+	ProbeEchoes        int64
+	NoHandler          int64
+}
+
+// pathObs is the receiver-side record of one forward path (identified by
+// the encap source port the remote sender used).
+type pathObs struct {
+	port       uint16
+	pendingECN bool
+	lastUtil   float64
+	hasUtil    bool
+	lastRelay  sim.Time
+}
+
+// peerObs keeps one remote hypervisor's path observations sorted by port,
+// so the relay scan is deterministic without per-packet sorting. Peers use
+// a handful of ports, so linear search wins over a map here.
+type peerObs struct {
+	paths []*pathObs // sorted by port
+}
+
+func (po *peerObs) get(port uint16) *pathObs {
+	i := sort.Search(len(po.paths), func(i int) bool { return po.paths[i].port >= port })
+	if i < len(po.paths) && po.paths[i].port == port {
+		return po.paths[i]
+	}
+	ob := &pathObs{port: port, lastRelay: sim.Time(-1 << 60)}
+	po.paths = append(po.paths, nil)
+	copy(po.paths[i+1:], po.paths[i:])
+	po.paths[i] = ob
+	return ob
+}
+
+// VSwitch is one hypervisor's virtual switch. It encapsulates tenant
+// traffic with an overlay header whose source port is chosen by the
+// configured PathPolicy per flowlet, and on the receive side intercepts
+// congestion state and reflects it to peers inside encap context bits.
+type VSwitch struct {
+	sim  *sim.Simulator
+	host *netem.Host
+	cfg  Config
+	self packet.HostID
+
+	policy   PathPolicy
+	flowlets *flowletTableShim
+
+	// endpoints maps an arriving inner 5-tuple to its VM-side handler.
+	endpoints map[packet.FiveTuple]func(*packet.Packet)
+
+	// obs is receiver-side path state per remote hypervisor.
+	obs map[packet.HostID]*peerObs
+	// standaloneArmed tracks pending standalone-feedback timers per peer.
+	standaloneArmed map[packet.HostID]bool
+
+	// OnProbeEcho, when set, receives discovery echoes (the prober).
+	OnProbeEcho func(*packet.Packet)
+
+	// Adaptive-gap state: EWMA of the fastest and slowest reflected path
+	// delay per peer (seconds).
+	delayLo, delayHi map[packet.HostID]float64
+	baseGap          sim.Time
+
+	stats Stats
+}
+
+// flowletTableShim adapts clove.FlowletTable without importing it here
+// would create no cycle, but the indirection keeps vswitch testable with a
+// fake. In practice it is always the clove implementation.
+type flowletTableShim struct {
+	touch  func(packet.FiveTuple, sim.Time) (port *uint16, id uint32, isNew bool)
+	count  func() int64
+	setGap func(sim.Time)
+	gap    func() sim.Time
+}
+
+// New creates a virtual switch on host using policy, and installs itself as
+// the host's delivery handler.
+func New(s *sim.Simulator, host *netem.Host, cfg Config, policy PathPolicy) *VSwitch {
+	v := &VSwitch{
+		sim:             s,
+		host:            host,
+		cfg:             cfg,
+		self:            host.HostID(),
+		policy:          policy,
+		endpoints:       map[packet.FiveTuple]func(*packet.Packet){},
+		obs:             map[packet.HostID]*peerObs{},
+		standaloneArmed: map[packet.HostID]bool{},
+	}
+	v.flowlets = newFlowletShim(cfg.FlowletGap)
+	v.baseGap = cfg.FlowletGap
+	if cfg.AdaptiveFlowletGap {
+		v.delayLo = map[packet.HostID]float64{}
+		v.delayHi = map[packet.HostID]float64{}
+	}
+	host.Deliver = v.FromNetwork
+	return v
+}
+
+// FlowletGap returns the current (possibly adapted) flowlet gap.
+func (v *VSwitch) FlowletGap() sim.Time { return v.flowlets.gap() }
+
+// adaptGap updates the per-peer delay envelope from a reflected delay
+// sample and widens the flowlet gap to cover the largest observed spread,
+// so that switching paths after a gap almost never reorders.
+func (v *VSwitch) adaptGap(peer packet.HostID, delaySec float64) {
+	const alpha = 0.125 // EWMA smoothing
+	lo, okLo := v.delayLo[peer]
+	hi, okHi := v.delayHi[peer]
+	if !okLo || delaySec < lo {
+		lo = delaySec
+	} else {
+		lo += alpha * (delaySec - lo) * 0.1 // slow upward drift of the floor
+	}
+	if !okHi || delaySec > hi {
+		hi = delaySec
+	} else {
+		hi -= alpha * (hi - delaySec) * 0.1 // slow decay of the ceiling
+	}
+	v.delayLo[peer], v.delayHi[peer] = lo, hi
+
+	var maxSpread float64
+	for p, h := range v.delayHi {
+		if s := h - v.delayLo[p]; s > maxSpread {
+			maxSpread = s
+		}
+	}
+	gap := v.baseGap + sim.FromSeconds(maxSpread)
+	v.flowlets.setGap(gap)
+}
+
+// Host returns the underlying NIC attachment.
+func (v *VSwitch) Host() *netem.Host { return v.host }
+
+// Policy returns the installed path policy.
+func (v *VSwitch) Policy() PathPolicy { return v.policy }
+
+// Stats returns a snapshot of the counters.
+func (v *VSwitch) Stats() Stats { return v.stats }
+
+// Flowlets reports how many flowlets the source side has created.
+func (v *VSwitch) Flowlets() int64 { return v.flowlets.count() }
+
+// Register installs the VM-side handler for packets whose inner 5-tuple
+// equals match (use flow for a receiver, flow.Reverse() for a sender's ACK
+// stream).
+func (v *VSwitch) Register(match packet.FiveTuple, handler func(*packet.Packet)) {
+	v.endpoints[match] = handler
+}
+
+// Unregister removes an endpoint handler.
+func (v *VSwitch) Unregister(match packet.FiveTuple) { delete(v.endpoints, match) }
+
+// FromVM accepts a packet from the tenant VM, encapsulates it, picks the
+// path, piggybacks any pending feedback for the destination hypervisor, and
+// transmits it.
+func (v *VSwitch) FromVM(pkt *packet.Packet) {
+	dstHyp := packet.HostID(pkt.Inner.Dst) // one VM per host: identity mapping
+	now := v.sim.Now()
+
+	var port uint16
+	if pp, ok := v.policy.(perPacketPolicy); ok {
+		port = pp.PickPortPacket(dstHyp, pkt.Inner, pkt.PayloadLen)
+	} else {
+		entryPort, flowletID, isNew := v.flowlets.touch(pkt.Inner, now)
+		if isNew {
+			*entryPort = v.policy.PickPort(dstHyp, pkt.Inner, flowletID)
+		}
+		port = *entryPort
+	}
+
+	pkt.Encap = &packet.Encap{
+		SrcHyp:  v.self,
+		DstHyp:  dstHyp,
+		SrcPort: port,
+		DstPort: v.cfg.EncapDstPort,
+		ECT:     true,
+	}
+	if v.cfg.RequestINT {
+		pkt.INT.Enabled = true
+	}
+	if v.cfg.MeasureLatency {
+		pkt.SentAtNs = int64(now)
+	}
+	if fb, ok := v.takeFeedback(dstHyp, now); ok {
+		pkt.Encap.Feedback = fb
+		v.stats.FeedbackPiggy++
+	}
+	v.stats.Encapped++
+	v.host.Send(pkt)
+}
+
+// SendProbe emits a discovery probe toward dst with the given candidate
+// source port and TTL. Echoes come back through OnProbeEcho.
+func (v *VSwitch) SendProbe(dst packet.HostID, srcPort uint16, ttl int, probeID uint32) {
+	p := &packet.Packet{
+		Kind:      packet.KindProbe,
+		ProbeID:   probeID,
+		ProbePort: srcPort,
+		TTL:       ttl,
+		HopIndex:  ttl,
+		Encap: &packet.Encap{
+			SrcHyp:  v.self,
+			DstHyp:  dst,
+			SrcPort: srcPort,
+			DstPort: v.cfg.EncapDstPort,
+		},
+	}
+	v.host.Send(p)
+}
+
+// FromNetwork handles every packet arriving at the NIC.
+func (v *VSwitch) FromNetwork(pkt *packet.Packet) {
+	now := v.sim.Now()
+	switch pkt.Kind {
+	case packet.KindProbeEcho:
+		v.stats.ProbeEchoes++
+		if v.OnProbeEcho != nil {
+			v.OnProbeEcho(pkt)
+		}
+		return
+	case packet.KindProbe:
+		// Probe outlived the path: we are the destination. Answer like a
+		// traceroute endpoint so the prober learns the path length.
+		v.answerProbe(pkt)
+		return
+	case packet.KindFeedback:
+		if pkt.Encap != nil && pkt.Encap.Feedback.Valid {
+			v.stats.FeedbackReceived++
+			v.policy.OnFeedback(pkt.Encap.SrcHyp, pkt.Encap.Feedback, now)
+		}
+		return
+	}
+
+	if pkt.Encap == nil {
+		v.deliver(pkt) // non-overlay packet: deliver directly
+		return
+	}
+	remote := pkt.Encap.SrcHyp
+
+	// 1. Intercept congestion state about the forward path remote->self.
+	ob := v.observe(remote, pkt.Encap.SrcPort)
+	if pkt.Encap.CE {
+		v.stats.CEObserved++
+		ob.pendingECN = true
+		if v.cfg.StandaloneFeedback {
+			v.armStandalone(remote)
+		}
+	}
+	if pkt.INT.Enabled {
+		ob.lastUtil = pkt.INT.MaxUtil
+		ob.hasUtil = true
+	}
+	if v.cfg.MeasureLatency && pkt.SentAtNs > 0 {
+		// One-way path delay as the reflected metric; the table's
+		// least-metric selection then prefers the currently-fastest path.
+		ob.lastUtil = (now - sim.Time(pkt.SentAtNs)).Seconds()
+		ob.hasUtil = true
+	}
+
+	// 2. Consume feedback the remote reflected about our paths to it.
+	if pkt.Encap.Feedback.Valid {
+		v.stats.FeedbackReceived++
+		v.policy.OnFeedback(remote, pkt.Encap.Feedback, now)
+		if v.cfg.AdaptiveFlowletGap && v.cfg.MeasureLatency && pkt.Encap.Feedback.HasUtil {
+			v.adaptGap(remote, pkt.Encap.Feedback.Util)
+		}
+	}
+
+	// 3. Decapsulate.
+	outerCE := pkt.Encap.CE
+	pkt.Encap = nil
+	v.stats.Decapped++
+
+	if v.cfg.MaskECN {
+		// Clove hides underlay CE from the VM...
+		if outerCE {
+			v.stats.ECNMasked++
+		}
+		// ...unless every path we use toward the remote VM is congested:
+		// then relay ECN into the inner ACK stream so the sending VM backs
+		// off (Sec. 3.2).
+		if pkt.Flags.Has(packet.FlagACK) && pkt.PayloadLen == 0 &&
+			v.policy.AllCongested(remote, now) {
+			pkt.Flags |= packet.FlagECE
+			v.stats.ECNRelayedToVM++
+		}
+	} else if outerCE {
+		// RFC 6040: propagate CE to the inner header.
+		pkt.InnerCE = true
+	}
+
+	// 4. Deliver to the VM, via the policy's receiver hook if any.
+	if hook, ok := v.policy.(receiverHook); ok {
+		hook.OnDeliver(pkt, v.deliver)
+		return
+	}
+	v.deliver(pkt)
+}
+
+func (v *VSwitch) deliver(pkt *packet.Packet) {
+	h := v.endpoints[pkt.Inner]
+	if h == nil {
+		v.stats.NoHandler++
+		return
+	}
+	h(pkt)
+}
+
+func (v *VSwitch) answerProbe(probe *packet.Packet) {
+	echo := &packet.Packet{
+		Kind:      packet.KindProbeEcho,
+		ProbeID:   probe.ProbeID,
+		ProbePort: probe.ProbePort,
+		HopIndex:  probe.HopIndex,
+		EchoNode:  v.host.ID(),
+		EchoLink:  -1,
+		TTL:       64,
+		Encap: &packet.Encap{
+			SrcHyp:  v.self,
+			DstHyp:  probe.Encap.SrcHyp,
+			SrcPort: probe.ProbePort,
+			DstPort: v.cfg.EncapDstPort,
+		},
+	}
+	v.host.Send(echo)
+}
+
+func (v *VSwitch) observe(remote packet.HostID, port uint16) *pathObs {
+	po := v.obs[remote]
+	if po == nil {
+		po = &peerObs{}
+		v.obs[remote] = po
+	}
+	return po.get(port)
+}
+
+// takeFeedback selects at most one pending observation about paths from
+// peer to us that is due for relay (rate-limited per path), clears its
+// pending state, and returns it for piggybacking.
+func (v *VSwitch) takeFeedback(peer packet.HostID, now sim.Time) (packet.Feedback, bool) {
+	po := v.obs[peer]
+	if po == nil {
+		return packet.Feedback{}, false
+	}
+	// Prefer ECN-pending paths; fall back to the stalest utilization
+	// report. The slice is port-sorted, keeping the scan deterministic so
+	// runs are reproducible.
+	var best *pathObs
+	for _, ob := range po.paths {
+		if now-ob.lastRelay < v.cfg.RelayInterval {
+			continue
+		}
+		if ob.pendingECN {
+			best = ob
+			break
+		}
+		if ob.hasUtil && (best == nil || ob.lastRelay < best.lastRelay) {
+			best = ob
+		}
+	}
+	if best == nil {
+		return packet.Feedback{}, false
+	}
+	fb := packet.Feedback{
+		Valid:   true,
+		Port:    best.port,
+		ECN:     best.pendingECN,
+		HasUtil: best.hasUtil,
+		Util:    best.lastUtil,
+	}
+	best.pendingECN = false
+	best.lastRelay = now
+	return fb, true
+}
+
+// armStandalone schedules a standalone feedback packet to peer if pending
+// congestion state is not piggybacked within RelayInterval.
+func (v *VSwitch) armStandalone(peer packet.HostID) {
+	if v.standaloneArmed[peer] {
+		return
+	}
+	v.standaloneArmed[peer] = true
+	v.sim.After(v.cfg.RelayInterval, func() {
+		v.standaloneArmed[peer] = false
+		fb, ok := v.takeFeedback(peer, v.sim.Now())
+		if !ok || !fb.ECN {
+			return
+		}
+		v.stats.FeedbackStandalone++
+		p := &packet.Packet{
+			Kind: packet.KindFeedback,
+			Encap: &packet.Encap{
+				SrcHyp:   v.self,
+				DstHyp:   peer,
+				SrcPort:  portHash(packet.FiveTuple{Src: v.self, Dst: peer}, uint32(v.sim.Now())),
+				DstPort:  v.cfg.EncapDstPort,
+				Feedback: fb,
+			},
+		}
+		v.host.Send(p)
+	})
+}
+
+// String implements fmt.Stringer.
+func (v *VSwitch) String() string {
+	return fmt.Sprintf("vswitch[%s %s]", v.host.Name(), v.policy.Name())
+}

@@ -1,0 +1,147 @@
+package wire
+
+import "encoding/binary"
+
+// SttShimLen is the length of the STT-like shim header that follows the
+// outer TCP header. Its layout mirrors the fields the paper's Fig. 3 relies
+// on: a flags byte, the tenant VLAN/context area, and — crucially for Clove
+// — a 64-bit context word whose reserved bits carry the reflected path
+// feedback (observed source port, an ECN-seen bit, and a quantized path
+// utilization).
+const SttShimLen = 18
+
+// Shim flag bits.
+const (
+	ShimFlagECNFeedback = 1 << 0 // Context carries valid feedback
+	ShimFlagUtilValid   = 1 << 1 // Context utilization byte is meaningful
+	ShimFlagINTRequest  = 1 << 2 // request per-hop utilization stamping
+)
+
+// Feedback is the Clove metadata reflected between hypervisors inside the
+// shim context bits.
+type Feedback struct {
+	Valid bool
+	Port  uint16 // forward-direction encap source port being reported
+	ECN   bool   // the reported path saw a CE mark
+	// Util is the max path utilization in [0,1]; quantized to 1/255 steps.
+	HasUtil bool
+	Util    float64
+}
+
+// SttShim is the overlay shim between the outer transport header and the
+// encapsulated tenant frame.
+type SttShim struct {
+	Version    uint8
+	Flags      uint8
+	FlowletID  uint32 // flowlet/flowcell sequence (Presto-style reassembly)
+	VNI        uint32 // tenant network identifier (24 bits used)
+	Feedback   Feedback
+	PayloadLen uint16
+	// PathPort is the sender's outer source port, restated inside the shim
+	// so the receiver can attribute congestion observations to the forward
+	// path even when a middle hop rewrites the outer header.
+	PathPort uint16
+}
+
+// Marshal appends the shim to b.
+func (s *SttShim) Marshal(b []byte) []byte {
+	off := len(b)
+	b = append(b, make([]byte, SttShimLen)...)
+	p := b[off:]
+	flags := s.Flags
+	var fbPort uint16
+	var fbUtil uint8
+	if s.Feedback.Valid {
+		flags |= ShimFlagECNFeedback
+		fbPort = s.Feedback.Port
+		if s.Feedback.HasUtil {
+			flags |= ShimFlagUtilValid
+			fbUtil = quantizeUtil(s.Feedback.Util)
+		}
+	}
+	p[0] = s.Version
+	p[1] = flags
+	binary.BigEndian.PutUint16(p[2:], s.PayloadLen)
+	binary.BigEndian.PutUint32(p[4:], s.FlowletID)
+	binary.BigEndian.PutUint32(p[8:], s.VNI&0xffffff)
+	// Context word: feedback port, ECN bit, quantized utilization.
+	binary.BigEndian.PutUint16(p[12:], fbPort)
+	if s.Feedback.Valid && s.Feedback.ECN {
+		p[14] = 1
+	}
+	p[15] = fbUtil
+	binary.BigEndian.PutUint16(p[16:], s.PathPort)
+	return b
+}
+
+// Unmarshal parses the shim and returns bytes consumed.
+func (s *SttShim) Unmarshal(b []byte) (int, error) {
+	if len(b) < SttShimLen {
+		return 0, ErrTruncated
+	}
+	s.Version = b[0]
+	s.Flags = b[1] &^ (ShimFlagECNFeedback | ShimFlagUtilValid)
+	s.PayloadLen = binary.BigEndian.Uint16(b[2:])
+	s.FlowletID = binary.BigEndian.Uint32(b[4:])
+	s.VNI = binary.BigEndian.Uint32(b[8:]) & 0xffffff
+	s.Feedback = Feedback{}
+	if b[1]&ShimFlagECNFeedback != 0 {
+		s.Feedback.Valid = true
+		s.Feedback.Port = binary.BigEndian.Uint16(b[12:])
+		s.Feedback.ECN = b[14]&1 != 0
+		if b[1]&ShimFlagUtilValid != 0 {
+			s.Feedback.HasUtil = true
+			s.Feedback.Util = dequantizeUtil(b[15])
+		}
+	}
+	s.PathPort = binary.BigEndian.Uint16(b[16:])
+	return SttShimLen, nil
+}
+
+func quantizeUtil(u float64) uint8 {
+	if u <= 0 {
+		return 0
+	}
+	if u >= 1 {
+		return 255
+	}
+	return uint8(u*255 + 0.5)
+}
+
+func dequantizeUtil(q uint8) float64 { return float64(q) / 255 }
+
+// VxlanHeaderLen is the fixed VXLAN header length (RFC 7348 layout).
+const VxlanHeaderLen = 8
+
+// Vxlan is a VXLAN header; Clove in a UDP-based overlay steers paths with
+// the outer UDP source port, and this implementation additionally uses the
+// reserved bytes the way STT uses its context field (a documented deviation
+// from RFC 7348, required because VXLAN has no context bits of its own).
+type Vxlan struct {
+	VNI      uint32
+	Reserved uint8 // low reserved byte, used for the feedback ECN bit
+}
+
+// Marshal appends the 8-byte header to b.
+func (v *Vxlan) Marshal(b []byte) []byte {
+	off := len(b)
+	b = append(b, make([]byte, VxlanHeaderLen)...)
+	p := b[off:]
+	p[0] = 0x08 // I flag: VNI valid
+	binary.BigEndian.PutUint32(p[4:], v.VNI<<8)
+	p[7] = v.Reserved
+	return b
+}
+
+// Unmarshal parses the header and returns bytes consumed.
+func (v *Vxlan) Unmarshal(b []byte) (int, error) {
+	if len(b) < VxlanHeaderLen {
+		return 0, ErrTruncated
+	}
+	if b[0]&0x08 == 0 {
+		return 0, ErrBadVersion
+	}
+	v.VNI = binary.BigEndian.Uint32(b[4:]) >> 8
+	v.Reserved = b[7]
+	return VxlanHeaderLen, nil
+}

@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncapFrame is a fully assembled Clove overlay packet as carried on the
+// wire by the userspace datapath: outer IPv4 + outer TCP (STT-like) + shim
+// + the opaque tenant payload. The outer TCP source port is the path
+// selector; the outer header's ECN codepoint carries fabric congestion.
+type EncapFrame struct {
+	OuterIP  IPv4
+	OuterTCP TCP
+	Shim     SttShim
+	Payload  []byte
+}
+
+// Marshal assembles the frame into a fresh buffer, fixing up lengths and
+// checksums.
+func (f *EncapFrame) Marshal() []byte {
+	f.Shim.PayloadLen = uint16(len(f.Payload))
+	segLen := TCPHeaderLen + SttShimLen + len(f.Payload)
+	f.OuterIP.TotalLen = uint16(IPv4HeaderLen + segLen)
+	if f.OuterIP.TTL == 0 {
+		f.OuterIP.TTL = 64
+	}
+	f.OuterIP.Protocol = 6 // STT rides on TCP
+
+	b := make([]byte, 0, int(f.OuterIP.TotalLen))
+	b = f.OuterIP.Marshal(b)
+	tcpStart := len(b)
+	f.OuterTCP.Checksum = 0
+	b = f.OuterTCP.Marshal(b)
+	b = f.Shim.Marshal(b)
+	b = append(b, f.Payload...)
+	// Transport checksum over pseudo-header + segment.
+	csum := PseudoChecksum(f.OuterIP.SrcIP, f.OuterIP.DstIP, 6, b[tcpStart:])
+	binary.BigEndian.PutUint16(b[tcpStart+16:], csum)
+	return b
+}
+
+// UnmarshalEncapFrame parses a wire buffer into a frame, validating both
+// checksums. The returned frame's Payload aliases b.
+func UnmarshalEncapFrame(b []byte) (*EncapFrame, error) {
+	f := &EncapFrame{}
+	n, err := f.OuterIP.Unmarshal(b)
+	if err != nil {
+		return nil, fmt.Errorf("outer IP: %w", err)
+	}
+	if int(f.OuterIP.TotalLen) > len(b) {
+		return nil, fmt.Errorf("outer IP: %w", ErrBadLength)
+	}
+	seg := b[n:f.OuterIP.TotalLen]
+	if PseudoChecksum(f.OuterIP.SrcIP, f.OuterIP.DstIP, f.OuterIP.Protocol, seg) != 0 {
+		return nil, fmt.Errorf("outer TCP: %w", ErrBadChecksum)
+	}
+	tn, err := f.OuterTCP.Unmarshal(seg)
+	if err != nil {
+		return nil, fmt.Errorf("outer TCP: %w", err)
+	}
+	sn, err := f.Shim.Unmarshal(seg[tn:])
+	if err != nil {
+		return nil, fmt.Errorf("shim: %w", err)
+	}
+	f.Payload = seg[tn+sn:]
+	if int(f.Shim.PayloadLen) != len(f.Payload) {
+		return nil, fmt.Errorf("shim payload: %w", ErrBadLength)
+	}
+	return f, nil
+}

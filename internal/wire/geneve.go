@@ -1,0 +1,102 @@
+package wire
+
+import "encoding/binary"
+
+// GeneveHeaderLen is the fixed part of a Geneve header (RFC 8926); options
+// follow in 4-byte multiples.
+const GeneveHeaderLen = 8
+
+// GeneveOptClove is the option class/type this implementation uses to carry
+// Clove feedback as a Geneve TLV (experimental class range).
+const (
+	GeneveOptCloveClass = 0xff01
+	GeneveOptCloveType  = 0x42
+	geneveCloveOptLen   = 8 // option body: port(2) flags(1) util(1) pad(4)
+)
+
+// Geneve is a Geneve encapsulation header with optional Clove feedback
+// carried as a single TLV option — the third overlay variant (after the
+// STT-like shim and VXLAN) showing the feedback channel is protocol-
+// agnostic as long as the encap format has extensible metadata.
+type Geneve struct {
+	VNI      uint32 // 24 bits
+	Protocol uint16 // inner protocol (0x6558 = Ethernet)
+	Critical bool
+	Feedback Feedback
+}
+
+// Marshal appends the header (and the Clove option when feedback is set).
+func (g *Geneve) Marshal(b []byte) []byte {
+	optWords := 0
+	if g.Feedback.Valid {
+		optWords = (4 + geneveCloveOptLen) / 4
+	}
+	off := len(b)
+	b = append(b, make([]byte, GeneveHeaderLen+optWords*4)...)
+	p := b[off:]
+	p[0] = byte(optWords) & 0x3f // version 0, opt len in words
+	if g.Critical {
+		p[1] = 1 << 6
+	}
+	binary.BigEndian.PutUint16(p[2:], g.Protocol)
+	binary.BigEndian.PutUint32(p[4:], g.VNI<<8)
+	if g.Feedback.Valid {
+		opt := p[GeneveHeaderLen:]
+		binary.BigEndian.PutUint16(opt[0:], GeneveOptCloveClass)
+		opt[2] = GeneveOptCloveType
+		opt[3] = geneveCloveOptLen / 4
+		binary.BigEndian.PutUint16(opt[4:], g.Feedback.Port)
+		var flags uint8
+		if g.Feedback.ECN {
+			flags |= 1
+		}
+		if g.Feedback.HasUtil {
+			flags |= 2
+			opt[7] = quantizeUtil(g.Feedback.Util)
+		}
+		opt[6] = flags
+	}
+	return b
+}
+
+// Unmarshal parses the header and any Clove option; unknown options are
+// skipped. It returns bytes consumed.
+func (g *Geneve) Unmarshal(b []byte) (int, error) {
+	if len(b) < GeneveHeaderLen {
+		return 0, ErrTruncated
+	}
+	if b[0]>>6 != 0 {
+		return 0, ErrBadVersion
+	}
+	optLen := int(b[0]&0x3f) * 4
+	total := GeneveHeaderLen + optLen
+	if len(b) < total {
+		return 0, ErrTruncated
+	}
+	g.Critical = b[1]&(1<<6) != 0
+	g.Protocol = binary.BigEndian.Uint16(b[2:])
+	g.VNI = binary.BigEndian.Uint32(b[4:]) >> 8
+	g.Feedback = Feedback{}
+
+	opts := b[GeneveHeaderLen:total]
+	for len(opts) >= 4 {
+		class := binary.BigEndian.Uint16(opts[0:])
+		typ := opts[2]
+		bodyLen := int(opts[3]&0x1f) * 4
+		if len(opts) < 4+bodyLen {
+			return 0, ErrBadLength
+		}
+		body := opts[4 : 4+bodyLen]
+		if class == GeneveOptCloveClass && typ == GeneveOptCloveType && bodyLen >= 4 {
+			g.Feedback.Valid = true
+			g.Feedback.Port = binary.BigEndian.Uint16(body[0:])
+			g.Feedback.ECN = body[2]&1 != 0
+			if body[2]&2 != 0 {
+				g.Feedback.HasUtil = true
+				g.Feedback.Util = dequantizeUtil(body[3])
+			}
+		}
+		opts = opts[4+bodyLen:]
+	}
+	return total, nil
+}

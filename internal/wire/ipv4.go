@@ -1,0 +1,113 @@
+// Package wire implements byte-level codecs for the headers Clove
+// manipulates on a real network: IPv4, TCP, UDP, and the overlay
+// encapsulation shims (an STT-like TCP-based shim with a context field, and
+// a VXLAN-like UDP-based alternative). The userspace datapath in
+// internal/datapath uses these to build and parse real packets; the
+// simulator mirrors the same fields as structs.
+//
+// The codecs follow the gopacket convention of explicit, allocation-light
+// Marshal/Unmarshal pairs and defensive length validation: truncated input
+// returns an error, never panics.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Codec errors.
+var (
+	ErrTruncated   = errors.New("wire: truncated packet")
+	ErrBadVersion  = errors.New("wire: bad version")
+	ErrBadChecksum = errors.New("wire: bad checksum")
+	ErrBadLength   = errors.New("wire: bad length field")
+)
+
+// IPv4HeaderLen is the length of a header without options.
+const IPv4HeaderLen = 20
+
+// ECN codepoints in the IPv4 TOS field (RFC 3168).
+const (
+	ECNNotECT = 0x0
+	ECNECT1   = 0x1
+	ECNECT0   = 0x2
+	ECNCE     = 0x3
+)
+
+// IPv4 is a minimal IPv4 header (no options).
+type IPv4 struct {
+	TOS      uint8 // DSCP<<2 | ECN
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	SrcIP    [4]byte
+	DstIP    [4]byte
+}
+
+// ECN returns the ECN codepoint.
+func (h *IPv4) ECN() uint8 { return h.TOS & 0x3 }
+
+// SetECN sets the ECN codepoint.
+func (h *IPv4) SetECN(cp uint8) { h.TOS = h.TOS&^0x3 | cp&0x3 }
+
+// Marshal appends the 20-byte header (with checksum) to b.
+func (h *IPv4) Marshal(b []byte) []byte {
+	off := len(b)
+	b = append(b, make([]byte, IPv4HeaderLen)...)
+	p := b[off:]
+	p[0] = 0x45 // version 4, IHL 5
+	p[1] = h.TOS
+	binary.BigEndian.PutUint16(p[2:], h.TotalLen)
+	binary.BigEndian.PutUint16(p[4:], h.ID)
+	// flags+fragment offset zero (DF could be set; Clove never fragments)
+	p[8] = h.TTL
+	p[9] = h.Protocol
+	copy(p[12:16], h.SrcIP[:])
+	copy(p[16:20], h.DstIP[:])
+	binary.BigEndian.PutUint16(p[10:], Checksum(p[:IPv4HeaderLen]))
+	return b
+}
+
+// Unmarshal parses a header from b, validating version, length, and
+// checksum. It returns the number of bytes consumed.
+func (h *IPv4) Unmarshal(b []byte) (int, error) {
+	if len(b) < IPv4HeaderLen {
+		return 0, ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return 0, ErrBadVersion
+	}
+	ihl := int(b[0]&0xf) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return 0, fmt.Errorf("%w: IHL %d", ErrBadLength, ihl)
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return 0, ErrBadChecksum
+	}
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:])
+	h.ID = binary.BigEndian.Uint16(b[4:])
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	copy(h.SrcIP[:], b[12:16])
+	copy(h.DstIP[:], b[16:20])
+	return ihl, nil
+}
+
+// Checksum computes the Internet checksum (RFC 1071) over b. A header
+// marshalled with its checksum field filled sums to zero.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,116 @@
+package wire
+
+import "encoding/binary"
+
+// TCPHeaderLen is the length of a TCP header without options.
+const TCPHeaderLen = 20
+
+// TCP flag bits as they appear on the wire.
+const (
+	TCPFin = 1 << 0
+	TCPSyn = 1 << 1
+	TCPRst = 1 << 2
+	TCPPsh = 1 << 3
+	TCPAck = 1 << 4
+	TCPUrg = 1 << 5
+	TCPEce = 1 << 6
+	TCPCwr = 1 << 7
+)
+
+// TCP is a minimal TCP header (no options).
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16 // 0 on Marshal unless precomputed by caller
+	Urgent           uint16
+}
+
+// Marshal appends the 20-byte header to b. The checksum field is written
+// verbatim; compute it with PseudoChecksum over the assembled segment.
+func (h *TCP) Marshal(b []byte) []byte {
+	off := len(b)
+	b = append(b, make([]byte, TCPHeaderLen)...)
+	p := b[off:]
+	binary.BigEndian.PutUint16(p[0:], h.SrcPort)
+	binary.BigEndian.PutUint16(p[2:], h.DstPort)
+	binary.BigEndian.PutUint32(p[4:], h.Seq)
+	binary.BigEndian.PutUint32(p[8:], h.Ack)
+	p[12] = 5 << 4 // data offset: 5 words
+	p[13] = h.Flags
+	binary.BigEndian.PutUint16(p[14:], h.Window)
+	binary.BigEndian.PutUint16(p[16:], h.Checksum)
+	binary.BigEndian.PutUint16(p[18:], h.Urgent)
+	return b
+}
+
+// Unmarshal parses a header and returns bytes consumed (including options,
+// which are skipped).
+func (h *TCP) Unmarshal(b []byte) (int, error) {
+	if len(b) < TCPHeaderLen {
+		return 0, ErrTruncated
+	}
+	dataOff := int(b[12]>>4) * 4
+	if dataOff < TCPHeaderLen || len(b) < dataOff {
+		return 0, ErrBadLength
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:])
+	h.DstPort = binary.BigEndian.Uint16(b[2:])
+	h.Seq = binary.BigEndian.Uint32(b[4:])
+	h.Ack = binary.BigEndian.Uint32(b[8:])
+	h.Flags = b[13]
+	h.Window = binary.BigEndian.Uint16(b[14:])
+	h.Checksum = binary.BigEndian.Uint16(b[16:])
+	h.Urgent = binary.BigEndian.Uint16(b[18:])
+	return dataOff, nil
+}
+
+// UDPHeaderLen is the fixed UDP header length.
+const UDPHeaderLen = 8
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16 // header + payload
+	Checksum         uint16
+}
+
+// Marshal appends the 8-byte header to b.
+func (h *UDP) Marshal(b []byte) []byte {
+	off := len(b)
+	b = append(b, make([]byte, UDPHeaderLen)...)
+	p := b[off:]
+	binary.BigEndian.PutUint16(p[0:], h.SrcPort)
+	binary.BigEndian.PutUint16(p[2:], h.DstPort)
+	binary.BigEndian.PutUint16(p[4:], h.Length)
+	binary.BigEndian.PutUint16(p[6:], h.Checksum)
+	return b
+}
+
+// Unmarshal parses a header and returns bytes consumed.
+func (h *UDP) Unmarshal(b []byte) (int, error) {
+	if len(b) < UDPHeaderLen {
+		return 0, ErrTruncated
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:])
+	h.DstPort = binary.BigEndian.Uint16(b[2:])
+	h.Length = binary.BigEndian.Uint16(b[4:])
+	if int(h.Length) < UDPHeaderLen {
+		return 0, ErrBadLength
+	}
+	h.Checksum = binary.BigEndian.Uint16(b[6:])
+	return UDPHeaderLen, nil
+}
+
+// PseudoChecksum computes the TCP/UDP checksum over the IPv4 pseudo-header
+// plus the transport segment.
+func PseudoChecksum(src, dst [4]byte, proto uint8, segment []byte) uint16 {
+	pseudo := make([]byte, 12, 12+len(segment)+1)
+	copy(pseudo[0:4], src[:])
+	copy(pseudo[4:8], dst[:])
+	pseudo[9] = proto
+	binary.BigEndian.PutUint16(pseudo[10:], uint16(len(segment)))
+	pseudo = append(pseudo, segment...)
+	return Checksum(pseudo)
+}

@@ -1,0 +1,331 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIPv4RoundTrip(t *testing.T) {
+	h := IPv4{
+		TOS: 0x12, TotalLen: 1500, ID: 0xbeef, TTL: 63, Protocol: 6,
+		SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2},
+	}
+	b := h.Marshal(nil)
+	if len(b) != IPv4HeaderLen {
+		t.Fatalf("len = %d", len(b))
+	}
+	var g IPv4
+	n, err := g.Unmarshal(b)
+	if err != nil || n != IPv4HeaderLen {
+		t.Fatalf("Unmarshal: %v n=%d", err, n)
+	}
+	if g != h {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", g, h)
+	}
+}
+
+func TestIPv4ECNCodepoints(t *testing.T) {
+	var h IPv4
+	h.TOS = 0xb8 // DSCP EF
+	h.SetECN(ECNCE)
+	if h.ECN() != ECNCE {
+		t.Errorf("ECN = %x", h.ECN())
+	}
+	if h.TOS>>2 != 0xb8>>2 {
+		t.Error("SetECN clobbered DSCP")
+	}
+	h.SetECN(ECNECT0)
+	if h.ECN() != ECNECT0 {
+		t.Errorf("ECN = %x", h.ECN())
+	}
+}
+
+func TestIPv4ChecksumValidation(t *testing.T) {
+	h := IPv4{TTL: 64, Protocol: 17, TotalLen: 100}
+	b := h.Marshal(nil)
+	b[8] ^= 0xff // corrupt TTL
+	var g IPv4
+	if _, err := g.Unmarshal(b); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("corrupted header accepted: %v", err)
+	}
+}
+
+func TestIPv4Errors(t *testing.T) {
+	var g IPv4
+	if _, err := g.Unmarshal(make([]byte, 10)); !errors.Is(err, ErrTruncated) {
+		t.Error("short buffer accepted")
+	}
+	b := (&IPv4{TTL: 1}).Marshal(nil)
+	b[0] = 0x65 // version 6
+	if _, err := g.Unmarshal(b); !errors.Is(err, ErrBadVersion) {
+		t.Error("wrong version accepted")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	h := TCP{SrcPort: 51234, DstPort: 7471, Seq: 1 << 30, Ack: 42,
+		Flags: TCPAck | TCPEce, Window: 65535, Checksum: 0x1234, Urgent: 1}
+	b := h.Marshal(nil)
+	var g TCP
+	n, err := g.Unmarshal(b)
+	if err != nil || n != TCPHeaderLen {
+		t.Fatalf("Unmarshal: %v n=%d", err, n)
+	}
+	if g != h {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", g, h)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	h := UDP{SrcPort: 40000, DstPort: 4789, Length: 108, Checksum: 7}
+	b := h.Marshal(nil)
+	var g UDP
+	if _, err := g.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if g != h {
+		t.Errorf("mismatch %+v %+v", g, h)
+	}
+	bad := UDP{Length: 4}
+	bb := bad.Marshal(nil)
+	if _, err := g.Unmarshal(bb); !errors.Is(err, ErrBadLength) {
+		t.Error("bad UDP length accepted")
+	}
+}
+
+func TestSttShimFeedbackRoundTrip(t *testing.T) {
+	s := SttShim{
+		Version: 1, Flags: ShimFlagINTRequest, FlowletID: 99, VNI: 0xabcdef,
+		Feedback: Feedback{Valid: true, Port: 54321, ECN: true, HasUtil: true, Util: 0.73},
+	}
+	b := s.Marshal(nil)
+	var g SttShim
+	if _, err := g.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Feedback.Valid || g.Feedback.Port != 54321 || !g.Feedback.ECN || !g.Feedback.HasUtil {
+		t.Errorf("feedback lost: %+v", g.Feedback)
+	}
+	if math.Abs(g.Feedback.Util-0.73) > 1.0/255 {
+		t.Errorf("util quantization too lossy: %v", g.Feedback.Util)
+	}
+	if g.Flags&ShimFlagINTRequest == 0 {
+		t.Error("INT request flag lost")
+	}
+	if g.VNI != 0xabcdef || g.FlowletID != 99 {
+		t.Errorf("fields lost: %+v", g)
+	}
+}
+
+func TestSttShimNoFeedback(t *testing.T) {
+	s := SttShim{Version: 1, VNI: 5}
+	b := s.Marshal(nil)
+	var g SttShim
+	if _, err := g.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if g.Feedback.Valid {
+		t.Error("phantom feedback")
+	}
+}
+
+func TestVxlanRoundTrip(t *testing.T) {
+	v := Vxlan{VNI: 0x123456, Reserved: 0x80}
+	b := v.Marshal(nil)
+	var g Vxlan
+	if _, err := g.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if g != v {
+		t.Errorf("mismatch %+v %+v", g, v)
+	}
+	b[0] = 0
+	if _, err := g.Unmarshal(b); !errors.Is(err, ErrBadVersion) {
+		t.Error("missing I flag accepted")
+	}
+}
+
+func TestEncapFrameRoundTrip(t *testing.T) {
+	payload := []byte("tenant frame bytes: inner eth/ip/tcp would live here")
+	f := &EncapFrame{
+		OuterIP:  IPv4{TOS: ECNECT0, TTL: 64, SrcIP: [4]byte{172, 16, 0, 1}, DstIP: [4]byte{172, 16, 0, 2}},
+		OuterTCP: TCP{SrcPort: 50001, DstPort: 7471, Window: 65535},
+		Shim: SttShim{Version: 1, VNI: 7,
+			Feedback: Feedback{Valid: true, Port: 50002, ECN: true}},
+		Payload: payload,
+	}
+	b := f.Marshal()
+	g, err := UnmarshalEncapFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(g.Payload, payload) {
+		t.Error("payload mismatch")
+	}
+	if g.OuterTCP.SrcPort != 50001 || g.OuterIP.ECN() != ECNECT0 {
+		t.Error("outer fields lost")
+	}
+	if !g.Shim.Feedback.Valid || g.Shim.Feedback.Port != 50002 {
+		t.Error("feedback lost")
+	}
+}
+
+func TestEncapFrameChecksumDetectsCorruption(t *testing.T) {
+	f := &EncapFrame{
+		OuterIP:  IPv4{TTL: 64, SrcIP: [4]byte{1, 1, 1, 1}, DstIP: [4]byte{2, 2, 2, 2}},
+		OuterTCP: TCP{SrcPort: 1, DstPort: 2},
+		Payload:  []byte("payload"),
+	}
+	b := f.Marshal()
+	b[len(b)-1] ^= 0x01
+	if _, err := UnmarshalEncapFrame(b); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("corrupted payload accepted: %v", err)
+	}
+}
+
+// Fuzz-style property: no input slice makes the parsers panic, and valid
+// frames round-trip exactly.
+func TestQuickFrameNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		var ip IPv4
+		var tcp TCP
+		var udp UDP
+		var shim SttShim
+		var vx Vxlan
+		ip.Unmarshal(raw)
+		tcp.Unmarshal(raw)
+		udp.Unmarshal(raw)
+		shim.Unmarshal(raw)
+		vx.Unmarshal(raw)
+		UnmarshalEncapFrame(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(12))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Marshal∘Unmarshal is the identity over the frame's degrees of
+// freedom.
+func TestQuickFrameRoundTrip(t *testing.T) {
+	f := func(srcPort, fbPort uint16, flowlet uint32, ecn bool, utilQ uint8, payload []byte) bool {
+		if len(payload) > 4000 {
+			payload = payload[:4000]
+		}
+		fr := &EncapFrame{
+			OuterIP:  IPv4{TTL: 32, SrcIP: [4]byte{10, 1, 2, 3}, DstIP: [4]byte{10, 4, 5, 6}},
+			OuterTCP: TCP{SrcPort: srcPort, DstPort: 7471},
+			Shim: SttShim{Version: 1, FlowletID: flowlet, VNI: 1,
+				Feedback: Feedback{Valid: true, Port: fbPort, ECN: ecn, HasUtil: true, Util: float64(utilQ) / 255}},
+			Payload: payload,
+		}
+		b := fr.Marshal()
+		g, err := UnmarshalEncapFrame(b)
+		if err != nil {
+			return false
+		}
+		return g.OuterTCP.SrcPort == srcPort &&
+			g.Shim.FlowletID == flowlet &&
+			g.Shim.Feedback.Port == fbPort &&
+			g.Shim.Feedback.ECN == ecn &&
+			math.Abs(g.Shim.Feedback.Util-float64(utilQ)/255) < 1e-9 &&
+			bytes.Equal(g.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(13))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksumKnownValues(t *testing.T) {
+	// RFC 1071 example-style check: checksum of a buffer with its checksum
+	// embedded verifies to zero.
+	b := []byte{0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11,
+		0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7}
+	c := Checksum(b)
+	b[10], b[11] = byte(c>>8), byte(c)
+	if Checksum(b) != 0 {
+		t.Error("self-checksum not zero")
+	}
+	// Odd length handled.
+	if Checksum([]byte{0xff}) != ^uint16(0xff00) {
+		t.Errorf("odd-length checksum wrong: %x", Checksum([]byte{0xff}))
+	}
+}
+
+func TestGeneveRoundTrip(t *testing.T) {
+	g := Geneve{
+		VNI: 0x00abcd, Protocol: 0x6558, Critical: true,
+		Feedback: Feedback{Valid: true, Port: 51000, ECN: true, HasUtil: true, Util: 0.42},
+	}
+	b := g.Marshal(nil)
+	var got Geneve
+	n, err := got.Unmarshal(b)
+	if err != nil || n != len(b) {
+		t.Fatalf("Unmarshal: %v n=%d len=%d", err, n, len(b))
+	}
+	if got.VNI != g.VNI || got.Protocol != g.Protocol || !got.Critical {
+		t.Errorf("header fields lost: %+v", got)
+	}
+	if !got.Feedback.Valid || got.Feedback.Port != 51000 || !got.Feedback.ECN {
+		t.Errorf("feedback lost: %+v", got.Feedback)
+	}
+	if math.Abs(got.Feedback.Util-0.42) > 1.0/255 {
+		t.Errorf("util = %v", got.Feedback.Util)
+	}
+}
+
+func TestGeneveWithoutFeedback(t *testing.T) {
+	g := Geneve{VNI: 5, Protocol: 0x0800}
+	b := g.Marshal(nil)
+	if len(b) != GeneveHeaderLen {
+		t.Errorf("bare header len = %d", len(b))
+	}
+	var got Geneve
+	if _, err := got.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.Feedback.Valid {
+		t.Error("phantom feedback")
+	}
+}
+
+func TestGeneveSkipsUnknownOptions(t *testing.T) {
+	// Hand-build a header with an unknown option followed by the Clove one.
+	g := Geneve{VNI: 1, Feedback: Feedback{Valid: true, Port: 7}}
+	withClove := g.Marshal(nil)
+	cloveOpt := append([]byte(nil), withClove[GeneveHeaderLen:]...)
+	unknown := []byte{0x01, 0x02, 0x99, 1, 0xde, 0xad, 0xbe, 0xef}
+	opts := append(unknown, cloveOpt...)
+	hdr := make([]byte, GeneveHeaderLen)
+	hdr[0] = byte(len(opts) / 4)
+	b := append(hdr, opts...)
+	var got Geneve
+	if _, err := got.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Feedback.Valid || got.Feedback.Port != 7 {
+		t.Errorf("Clove option not found after unknown option: %+v", got.Feedback)
+	}
+}
+
+func TestGeneveErrors(t *testing.T) {
+	var g Geneve
+	if _, err := g.Unmarshal(make([]byte, 4)); !errors.Is(err, ErrTruncated) {
+		t.Error("short geneve accepted")
+	}
+	b := (&Geneve{VNI: 1}).Marshal(nil)
+	b[0] |= 0x40 // version 1
+	if _, err := g.Unmarshal(b); !errors.Is(err, ErrBadVersion) {
+		t.Error("wrong version accepted")
+	}
+	// Declared options longer than the buffer.
+	b2 := (&Geneve{VNI: 1}).Marshal(nil)
+	b2[0] = 4 // claims 16 bytes of options
+	if _, err := g.Unmarshal(b2); !errors.Is(err, ErrTruncated) {
+		t.Error("overlong opt len accepted")
+	}
+}
