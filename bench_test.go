@@ -1,6 +1,7 @@
 package clove
 
 import (
+	"runtime"
 	"testing"
 
 	"clove/internal/cluster"
@@ -258,6 +259,27 @@ func BenchmarkAblationProberVsOracle(b *testing.B) {
 		}
 	}
 }
+
+// --- Parallel runner benches ---
+//
+// The same Fig. 8a sweep at fixed worker counts: comparing J1 against J4
+// / JMax measures the concurrent runner's speedup on this machine (the
+// figure tables themselves are byte-identical at every -j). On a 1-core
+// runner all three converge; the >= 2x J4-vs-J1 target applies to
+// multi-core hardware.
+
+func benchSweepAtJ(b *testing.B, workers int) {
+	b.Helper()
+	sc := experiments.Quick()
+	sc.Parallelism = workers
+	for i := 0; i < b.N; i++ {
+		experiments.Fig8a(sc, nil)
+	}
+}
+
+func BenchmarkSweepJ1(b *testing.B)   { benchSweepAtJ(b, 1) }
+func BenchmarkSweepJ4(b *testing.B)   { benchSweepAtJ(b, 4) }
+func BenchmarkSweepJMax(b *testing.B) { benchSweepAtJ(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed: events per
 // second on a loaded fabric (engineering metric, not a paper figure).

@@ -7,6 +7,12 @@
 //	clovesim -fig all -scale quick   # everything, CI-sized
 //	clovesim -fig summary            # the paper's headline ratios
 //	clovesim -fig 8b -scale paper -v # full fidelity with progress
+//	clovesim -fig 4c -j 8            # 8 parallel workers, same output as -j 1
+//
+// Independent (scheme, load, seed) runs execute on a worker pool sized by
+// -j (default GOMAXPROCS). Results are collected in deterministic grid
+// order, so the printed tables are byte-identical at any -j for the same
+// seeds.
 //
 // Figures: 4b 4c 5a 5b 5c 6 7 8a 8b 9 (see DESIGN.md for the experiment
 // index), plus "summary" and "all".
@@ -27,6 +33,7 @@ func main() {
 		scale   = flag.String("scale", "standard", "run scale: quick | standard | paper")
 		load    = flag.Float64("load", 0.7, "network load for -fig summary")
 		verbose = flag.Bool("v", false, "stream per-run progress")
+		workers = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial); output is identical for any -j")
 
 		// Optional overrides on top of the chosen scale.
 		hosts     = flag.Int("hosts", 0, "override hosts per leaf")
@@ -63,6 +70,7 @@ func main() {
 			sc.Seeds = append(sc.Seeds, int64(i))
 		}
 	}
+	sc.Parallelism = *workers
 
 	var progress io.Writer
 	if *verbose {

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"io"
+	"runtime"
+	"testing"
+
+	"clove/internal/cluster"
+)
+
+// detScale is a grid small enough to rerun several times per test but
+// wide enough (2 schemes x 2 loads x 2 seeds = 8 jobs) that a parallel
+// run actually interleaves jobs.
+func detScale() Scale {
+	sc := tiny()
+	sc.Seeds = []int64{1, 2}
+	sc.Loads = []float64{0.3, 0.5}
+	return sc
+}
+
+func detOpts() sweepOpts {
+	return sweepOpts{
+		figure:  "det",
+		schemes: []cluster.Scheme{cluster.SchemeECMP, cluster.SchemeCloveECN},
+		asym:    true,
+	}
+}
+
+// TestSweepDeterministicAcrossParallelism pins the end-to-end determinism
+// invariant of the concurrent runner: the same seeds must produce
+// byte-identical FormatRows output at -j 1, -j 4, and -j GOMAXPROCS, and
+// across two repeated runs at the same -j. This extends the DESIGN.md
+// "identical seeds => identical packet traces" guarantee through the
+// worker pool, the out-of-order job completion, and the cross-seed
+// aggregation.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	run := func(parallelism int) string {
+		sc := detScale()
+		sc.Parallelism = parallelism
+		// io.Discard (not nil) keeps the concurrent progress path in play.
+		return FormatRows(sweep(sc, detOpts(), io.Discard))
+	}
+	want := run(1)
+	if want == "" {
+		t.Fatal("empty sweep output")
+	}
+	for _, j := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		if got := run(j); got != want {
+			t.Errorf("output at -j %d differs from -j 1:\n--- j=1 ---\n%s--- j=%d ---\n%s", j, want, j, got)
+		}
+	}
+}
+
+// TestFig7DeterministicAcrossParallelism covers the incast runner's
+// separate pooling path the same way.
+func TestFig7DeterministicAcrossParallelism(t *testing.T) {
+	run := func(parallelism int) string {
+		sc := detScale()
+		sc.Parallelism = parallelism
+		return FormatRows(Fig7(sc, io.Discard))
+	}
+	want := run(1)
+	if got := run(4); got != want {
+		t.Errorf("fig7 output at -j 4 differs from -j 1:\n%s\nvs\n%s", want, got)
+	}
+}
+
+// TestFig9DeterministicAcrossParallelism covers the CDF-aggregation path:
+// per-run mice samples are merged after the pool drains, in grid order.
+func TestFig9DeterministicAcrossParallelism(t *testing.T) {
+	run := func(parallelism int) string {
+		sc := detScale()
+		sc.Parallelism = parallelism
+		return FormatRows(Fig9(sc, io.Discard))
+	}
+	want := run(1)
+	if got := run(4); got != want {
+		t.Errorf("fig9 output at -j 4 differs from -j 1:\n%s\nvs\n%s", want, got)
+	}
+}
+
+// TestSweepConcurrentRaceSmoke is the race-detector target: a reduced
+// two-scheme sweep forced onto 4 workers so `go test -race` exercises
+// concurrent cluster construction, simulation, and progress reporting.
+// Any shared mutable state in sim/netem/cluster/tcp/vswitch would show up
+// here as a data race.
+func TestSweepConcurrentRaceSmoke(t *testing.T) {
+	sc := detScale()
+	sc.Parallelism = 4
+	rows := sweep(sc, detOpts(), io.Discard)
+	if len(rows) != 4 { // 2 schemes x 2 loads
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Samples == 0 {
+			t.Errorf("%s/%s: no samples", r.Figure, r.Scheme)
+		}
+		if r.Replicates != 2 {
+			t.Errorf("%s/%s: replicates = %d, want 2", r.Figure, r.Scheme, r.Replicates)
+		}
+	}
+}
+
+// TestSummaryConcurrent exercises the pooled Summary path and its
+// repeat-run stability.
+func TestSummaryConcurrent(t *testing.T) {
+	sc := detScale()
+	sc.Parallelism = 4
+	a := Summary(sc, 0.5, io.Discard)
+	b := Summary(sc, 0.5, io.Discard)
+	if a != b {
+		t.Errorf("summary not reproducible across runs:\n%+v\n%+v", a, b)
+	}
+	if a.CloveVsECMP <= 0 {
+		t.Errorf("bad headline: %+v", a)
+	}
+}
+
+// TestRunJobsCoversAllIndices checks the pool itself: every index runs
+// exactly once at any worker count, including degenerate ones.
+func TestRunJobsCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 50
+		counts := make([]int32, n)
+		runJobs(workers, n, func(i int) { counts[i]++ })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+	runJobs(4, 0, func(int) { t.Fatal("fn called for n=0") })
+}

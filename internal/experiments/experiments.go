@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"clove/internal/cluster"
 	"clove/internal/netem"
@@ -33,6 +34,12 @@ type Scale struct {
 	IncastRequests int
 	IncastBytes    int64
 	MaxSimTime     sim.Time
+
+	// Parallelism bounds the worker pool running independent (scheme,
+	// load, seed) jobs: 0 means GOMAXPROCS, 1 forces a serial run. Any
+	// value produces byte-identical FormatRows output for the same seeds
+	// (see runner.go); it only changes wall-clock time.
+	Parallelism int
 }
 
 // Quick is sized for CI and `go test -bench`: one seed, few load points,
@@ -86,6 +93,15 @@ type Row struct {
 	CDF          []stats.CDFPoint // Fig. 9 only
 	Samples      int
 	TimedOutRuns int
+
+	// Cross-seed replication statistics: each metric above is the mean
+	// over Replicates seed runs; the stderr fields carry the standard
+	// error of that mean (0 with a single seed), so every grid point
+	// reports mean ± stderr rather than a bare average.
+	Replicates       int
+	MeanFCTStderrSec float64
+	P99FCTStderrSec  float64
+	GoodputStderrBps float64
 }
 
 // sweepOpts configures one load-sweep experiment.
@@ -125,37 +141,82 @@ func runOne(sc Scale, opts sweepOpts, scheme cluster.Scheme, load float64, seed 
 
 // sweep runs the cross product schemes x loads x seeds and aggregates.
 func sweep(sc Scale, opts sweepOpts, progress io.Writer) []Row {
-	var rows []Row
-	for _, scheme := range opts.schemes {
-		for _, load := range sc.Loads {
-			if opts.maxLoad > 0 && load > opts.maxLoad {
-				continue
-			}
-			row := Row{Figure: opts.figure, Scheme: string(scheme), Load: load, Variant: opts.variant}
-			var mean, p99, mice, eleph float64
-			for _, seed := range sc.Seeds {
-				rec, timedOut := runOne(sc, opts, scheme, load, seed)
-				if timedOut {
-					row.TimedOutRuns++
+	return sweepMany(sc, []sweepOpts{opts}, progress)
+}
+
+// sweepPoint is one grid point of a sweep: every seed replicate of it is
+// an independent job.
+type sweepPoint struct {
+	opts   *sweepOpts
+	scheme cluster.Scheme
+	load   float64
+}
+
+// runOutcome is what one (point, seed) job contributes to its row.
+type runOutcome struct {
+	sum      stats.Summary
+	timedOut bool
+}
+
+// sweepMany expands every opts' schemes x loads grid (in order) into
+// seed-replicated jobs, runs them on the worker pool, and aggregates each
+// grid point's replicates into one Row. Rows come back in the same order
+// the serial nested loops produced, whatever the parallelism.
+func sweepMany(sc Scale, optsList []sweepOpts, progress io.Writer) []Row {
+	var pts []sweepPoint
+	for oi := range optsList {
+		opts := &optsList[oi]
+		for _, scheme := range opts.schemes {
+			for _, load := range sc.Loads {
+				if opts.maxLoad > 0 && load > opts.maxLoad {
+					continue
 				}
-				s := rec.Summarize()
-				mean += s.MeanSec
-				p99 += s.P99Sec
-				mice += s.MiceMeanSec
-				eleph += s.ElephMeanSec
-				row.Samples += s.Count
-			}
-			n := float64(len(sc.Seeds))
-			row.MeanFCTSec = mean / n
-			row.P99FCTSec = p99 / n
-			row.MiceFCTSec = mice / n
-			row.ElephFCTSec = eleph / n
-			rows = append(rows, row)
-			if progress != nil {
-				fmt.Fprintf(progress, "%s %-13s load=%.0f%% mean=%.4fs p99=%.4fs n=%d\n",
-					opts.figure, row.Scheme, load*100, row.MeanFCTSec, row.P99FCTSec, row.Samples)
+				pts = append(pts, sweepPoint{opts: opts, scheme: scheme, load: load})
 			}
 		}
+	}
+	seeds := sc.Seeds
+	outs := make([]runOutcome, len(pts)*len(seeds))
+	tracker := newProgressTracker(progress, len(outs))
+	runJobs(sc.Workers(), len(outs), func(i int) {
+		p := pts[i/len(seeds)]
+		seed := seeds[i%len(seeds)]
+		start := time.Now()
+		rec, timedOut := runOne(sc, *p.opts, p.scheme, p.load, seed)
+		outs[i] = runOutcome{sum: rec.Summarize(), timedOut: timedOut}
+		tracker.jobDone(fmt.Sprintf("%s %s load=%.0f%% seed=%d",
+			p.opts.figure, p.scheme, p.load*100, seed), time.Since(start))
+	})
+
+	rows := make([]Row, 0, len(pts))
+	for pi, p := range pts {
+		row := Row{
+			Figure: p.opts.figure, Scheme: string(p.scheme), Load: p.load,
+			Variant: p.opts.variant, Replicates: len(seeds),
+		}
+		means := make([]float64, 0, len(seeds))
+		p99s := make([]float64, 0, len(seeds))
+		mices := make([]float64, 0, len(seeds))
+		elephs := make([]float64, 0, len(seeds))
+		for si := range seeds {
+			o := outs[pi*len(seeds)+si]
+			if o.timedOut {
+				row.TimedOutRuns++
+			}
+			means = append(means, o.sum.MeanSec)
+			p99s = append(p99s, o.sum.P99Sec)
+			mices = append(mices, o.sum.MiceMeanSec)
+			elephs = append(elephs, o.sum.ElephMeanSec)
+			row.Samples += o.sum.Count
+		}
+		row.MeanFCTSec, row.MeanFCTStderrSec = stats.MeanStderr(means)
+		row.P99FCTSec, row.P99FCTStderrSec = stats.MeanStderr(p99s)
+		row.MiceFCTSec, _ = stats.MeanStderr(mices)
+		row.ElephFCTSec, _ = stats.MeanStderr(elephs)
+		rows = append(rows, row)
+		tracker.rowf("%s %-13s load=%.0f%% mean=%.4fs±%.4f p99=%.4fs n=%d\n",
+			p.opts.figure, row.Scheme, p.load*100, row.MeanFCTSec, row.MeanFCTStderrSec,
+			row.P99FCTSec, row.Samples)
 	}
 	return rows
 }
@@ -231,10 +292,10 @@ func Fig6(sc Scale, progress io.Writer) []Row {
 		{"clove (5*RTT, 20pkts)", 5, 20},
 		{"clove (1*RTT, 40pkts)", 1, 40},
 	}
-	var rows []Row
+	var optsList []sweepOpts
 	for _, v := range variants {
 		v := v
-		rows = append(rows, sweep(sc, sweepOpts{
+		optsList = append(optsList, sweepOpts{
 			figure:  "fig6",
 			schemes: []cluster.Scheme{cluster.SchemeCloveECN},
 			asym:    true, maxLoad: 0.8,
@@ -246,9 +307,10 @@ func Fig6(sc Scale, progress io.Writer) []Row {
 				rtt := netem.BuildLeafSpine(sim.New(0), cfg.Topo).BaseRTT()
 				cfg.FlowletGap = sim.Time(float64(rtt) * v.gapMult)
 			},
-		}, progress)...)
+		})
 	}
-	return rows
+	// One pool across all variants: a variant is just more grid columns.
+	return sweepMany(sc, optsList, progress)
 }
 
 // Fig7 regenerates the incast experiment: client goodput vs request fanout
@@ -256,39 +318,61 @@ func Fig6(sc Scale, progress io.Writer) []Row {
 func Fig7(sc Scale, progress io.Writer) []Row {
 	schemes := []cluster.Scheme{cluster.SchemeCloveECN, cluster.SchemeEdgeFlowlet, cluster.SchemeMPTCP}
 	fanouts := []int{1, 3, 5, 7, 9, 11, 13, 15}
-	var rows []Row
+	type point struct {
+		scheme cluster.Scheme
+		fanout int
+	}
+	var pts []point
 	for _, scheme := range schemes {
 		for _, fanout := range fanouts {
 			if fanout > sc.HostsPerLeaf {
 				continue
 			}
-			row := Row{Figure: "fig7", Scheme: string(scheme), Fanout: fanout}
-			var goodput float64
-			for _, seed := range sc.Seeds {
-				c := cluster.New(cluster.Config{
-					Seed:   seed,
-					Topo:   netem.ScaledTestbed(1.0, sc.HostsPerLeaf),
-					Scheme: scheme,
-				})
-				res := c.RunIncast(cluster.IncastParams{
-					Fanout:        fanout,
-					ResponseBytes: sc.IncastBytes,
-					Requests:      sc.IncastRequests,
-					MaxSimTime:    sc.MaxSimTime,
-				})
-				if res.TimedOut {
-					row.TimedOutRuns++
-				}
-				goodput += res.GoodputBps
-				row.Samples += res.Completed
-			}
-			row.GoodputBps = goodput / float64(len(sc.Seeds))
-			rows = append(rows, row)
-			if progress != nil {
-				fmt.Fprintf(progress, "fig7 %-13s fanout=%-2d goodput=%.2f Gbps\n",
-					row.Scheme, fanout, row.GoodputBps/1e9)
-			}
+			pts = append(pts, point{scheme, fanout})
 		}
+	}
+	type incastOutcome struct {
+		goodput   float64
+		completed int
+		timedOut  bool
+	}
+	seeds := sc.Seeds
+	outs := make([]incastOutcome, len(pts)*len(seeds))
+	tracker := newProgressTracker(progress, len(outs))
+	runJobs(sc.Workers(), len(outs), func(i int) {
+		p := pts[i/len(seeds)]
+		seed := seeds[i%len(seeds)]
+		start := time.Now()
+		c := cluster.New(cluster.Config{
+			Seed:   seed,
+			Topo:   netem.ScaledTestbed(1.0, sc.HostsPerLeaf),
+			Scheme: p.scheme,
+		})
+		res := c.RunIncast(cluster.IncastParams{
+			Fanout:        p.fanout,
+			ResponseBytes: sc.IncastBytes,
+			Requests:      sc.IncastRequests,
+			MaxSimTime:    sc.MaxSimTime,
+		})
+		outs[i] = incastOutcome{goodput: res.GoodputBps, completed: res.Completed, timedOut: res.TimedOut}
+		tracker.jobDone(fmt.Sprintf("fig7 %s fanout=%d seed=%d", p.scheme, p.fanout, seed), time.Since(start))
+	})
+	rows := make([]Row, 0, len(pts))
+	for pi, p := range pts {
+		row := Row{Figure: "fig7", Scheme: string(p.scheme), Fanout: p.fanout, Replicates: len(seeds)}
+		goodputs := make([]float64, 0, len(seeds))
+		for si := range seeds {
+			o := outs[pi*len(seeds)+si]
+			if o.timedOut {
+				row.TimedOutRuns++
+			}
+			goodputs = append(goodputs, o.goodput)
+			row.Samples += o.completed
+		}
+		row.GoodputBps, row.GoodputStderrBps = stats.MeanStderr(goodputs)
+		rows = append(rows, row)
+		tracker.rowf("fig7 %-13s fanout=%-2d goodput=%.2f±%.2f Gbps\n",
+			row.Scheme, p.fanout, row.GoodputBps/1e9, row.GoodputStderrBps/1e9)
 	}
 	return rows
 }
@@ -311,27 +395,37 @@ func Fig8b(sc Scale, progress io.Writer) []Row {
 // topology for ECMP, Clove-ECN, and CONGA.
 func Fig9(sc Scale, progress io.Writer) []Row {
 	schemes := []cluster.Scheme{cluster.SchemeECMP, cluster.SchemeCloveECN, cluster.SchemeCONGA}
+	seeds := sc.Seeds
+	// Each job extracts its run's mice samples; the CDF aggregation
+	// happens afterwards in deterministic (scheme, seed) index order.
+	mice := make([][]stats.Sample, len(schemes)*len(seeds))
+	tracker := newProgressTracker(progress, len(mice))
+	runJobs(sc.Workers(), len(mice), func(i int) {
+		scheme := schemes[i/len(seeds)]
+		seed := seeds[i%len(seeds)]
+		start := time.Now()
+		rec, _ := runOne(sc, sweepOpts{asym: true}, scheme, 0.7, seed)
+		mice[i] = rec.Mice().Samples()
+		tracker.jobDone(fmt.Sprintf("fig9 %s seed=%d", scheme, seed), time.Since(start))
+	})
 	var rows []Row
-	for _, scheme := range schemes {
+	for si, scheme := range schemes {
 		agg := &stats.FCTRecorder{}
-		for _, seed := range sc.Seeds {
-			rec, _ := runOne(sc, sweepOpts{asym: true}, scheme, 0.7, seed)
-			for _, s := range rec.Mice().Samples() {
+		for j := si * len(seeds); j < (si+1)*len(seeds); j++ {
+			for _, s := range mice[j] {
 				agg.Add(s.Size, s.FCT)
 			}
 		}
 		row := Row{
 			Figure: "fig9", Scheme: string(scheme), Load: 0.7,
 			Samples: agg.Count(), CDF: agg.CDF(20),
-			MeanFCTSec: agg.Mean(),
+			MeanFCTSec: agg.Mean(), Replicates: len(seeds),
 		}
 		if agg.Count() > 0 {
 			row.P99FCTSec = agg.Percentile(0.99)
 		}
 		rows = append(rows, row)
-		if progress != nil {
-			fmt.Fprintf(progress, "fig9 %-13s mice n=%d p99=%.4fs\n", row.Scheme, row.Samples, row.P99FCTSec)
-		}
+		tracker.rowf("fig9 %-13s mice n=%d p99=%.4fs\n", row.Scheme, row.Samples, row.P99FCTSec)
 	}
 	return rows
 }
@@ -349,8 +443,8 @@ func FormatRows(rows []Row) string {
 		}
 		switch {
 		case r.Fanout > 0:
-			out += fmt.Sprintf("  %-28s fanout=%-2d goodput=%8.3f Gbps  (n=%d)\n",
-				r.Scheme, r.Fanout, r.GoodputBps/1e9, r.Samples)
+			out += fmt.Sprintf("  %-28s fanout=%-2d goodput=%8.3f%s Gbps  (n=%d)\n",
+				r.Scheme, r.Fanout, r.GoodputBps/1e9, stderrSuffixf("±%.3f", r.Replicates, r.GoodputStderrBps/1e9), r.Samples)
 		case len(r.CDF) > 0:
 			out += fmt.Sprintf("  %-28s mice CDF (n=%d):", r.Scheme, r.Samples)
 			for _, pt := range r.CDF {
@@ -362,9 +456,26 @@ func FormatRows(rows []Row) string {
 			if r.Variant != "" {
 				label = r.Variant
 			}
-			out += fmt.Sprintf("  %-28s load=%2.0f%% mean=%8.4fs p99=%8.4fs mice=%8.4fs eleph=%8.4fs (n=%d)\n",
-				label, r.Load*100, r.MeanFCTSec, r.P99FCTSec, r.MiceFCTSec, r.ElephFCTSec, r.Samples)
+			out += fmt.Sprintf("  %-28s load=%2.0f%% mean=%8.4fs%s p99=%8.4fs%s mice=%8.4fs eleph=%8.4fs (n=%d)\n",
+				label, r.Load*100,
+				r.MeanFCTSec, stderrSuffix(r.Replicates, r.MeanFCTStderrSec),
+				r.P99FCTSec, stderrSuffix(r.Replicates, r.P99FCTStderrSec),
+				r.MiceFCTSec, r.ElephFCTSec, r.Samples)
 		}
 	}
 	return out
+}
+
+// stderrSuffix renders "±x.xxxx" for multi-seed rows and nothing for
+// single-replicate rows (where a standard error is undefined), keeping
+// single-seed output byte-compatible with the pre-replication format.
+func stderrSuffix(replicates int, stderr float64) string {
+	return stderrSuffixf("±%.4f", replicates, stderr)
+}
+
+func stderrSuffixf(format string, replicates int, stderr float64) string {
+	if replicates < 2 {
+		return ""
+	}
+	return fmt.Sprintf(format, stderr)
 }

@@ -3,8 +3,10 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"clove/internal/cluster"
+	"clove/internal/stats"
 )
 
 // HeadlineResult reproduces the paper's headline claims as measured ratios:
@@ -22,20 +24,34 @@ type HeadlineResult struct {
 }
 
 // Summary runs the asymmetric comparison at one high load across the five
-// simulation schemes and derives the headline ratios.
+// simulation schemes (scheme x seed jobs on the worker pool) and derives
+// the headline ratios.
 func Summary(sc Scale, load float64, progress io.Writer) HeadlineResult {
+	schemes := simSchemes()
+	seeds := sc.Seeds
+	perRun := make([]float64, len(schemes)*len(seeds))
+	tracker := newProgressTracker(progress, len(perRun))
+	runJobs(sc.Workers(), len(perRun), func(i int) {
+		scheme := schemes[i/len(seeds)]
+		seed := seeds[i%len(seeds)]
+		start := time.Now()
+		rec, _ := runOne(sc, sweepOpts{asym: true}, scheme, load, seed)
+		perRun[i] = rec.Mean()
+		tracker.jobDone(fmt.Sprintf("summary %s seed=%d", scheme, seed), time.Since(start))
+	})
 	means := map[cluster.Scheme]float64{}
-	for _, scheme := range simSchemes() {
-		var mean float64
-		for _, seed := range sc.Seeds {
-			rec, _ := runOne(sc, sweepOpts{asym: true}, scheme, load, seed)
-			mean += rec.Mean()
-		}
-		means[scheme] = mean / float64(len(sc.Seeds))
-		if progress != nil {
-			fmt.Fprintf(progress, "summary %-13s load=%.0f%% mean=%.4fs\n", scheme, load*100, means[scheme])
-		}
+	for si, scheme := range schemes {
+		means[scheme], _ = stats.MeanStderr(perRun[si*len(seeds) : (si+1)*len(seeds)])
+		tracker.rowf("summary %-13s load=%.0f%% mean=%.4fs\n", scheme, load*100, means[scheme])
 	}
+	return deriveHeadline(load, means)
+}
+
+// deriveHeadline turns per-scheme mean FCTs into the paper's headline
+// ratios. Ratios against a zero (missing) scheme mean stay 0, and the
+// gain-capture fractions are only defined when CONGA actually improves on
+// ECMP (gain > 0).
+func deriveHeadline(load float64, means map[cluster.Scheme]float64) HeadlineResult {
 	res := HeadlineResult{Load: load}
 	ecmp := means[cluster.SchemeECMP]
 	conga := means[cluster.SchemeCONGA]

@@ -145,6 +145,32 @@ func (r *FCTRecorder) ensureSorted() {
 	r.sorted = true
 }
 
+// MeanStderr aggregates one metric across independent replicates (e.g.
+// the per-seed means of a grid point): it returns the sample mean and the
+// standard error of that mean (sample stddev / sqrt(n)). With fewer than
+// two replicates the stderr is 0. Summation runs in slice order, so a
+// deterministic input order gives bit-identical results.
+func MeanStderr(xs []float64) (mean, stderr float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	n := float64(len(xs))
+	stderr = math.Sqrt(ss/(n-1)) / math.Sqrt(n)
+	return mean, stderr
+}
+
 // Summary is a compact digest of a recorder, as printed in result tables.
 type Summary struct {
 	Count        int

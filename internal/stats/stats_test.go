@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -175,5 +176,38 @@ func TestScaledBuckets(t *testing.T) {
 	u.Add(2_000_000, sim.Second)
 	if u.Elephants().Count() != 0 {
 		t.Error("2MB counted as elephant without scaling")
+	}
+}
+
+func TestMeanStderr(t *testing.T) {
+	cases := []struct {
+		name         string
+		xs           []float64
+		mean, stderr float64
+	}{
+		{"empty", nil, 0, 0},
+		{"single", []float64{3.5}, 3.5, 0},
+		{"constant", []float64{2, 2, 2, 2}, 2, 0},
+		// stddev of {1,2,3} is 1; stderr = 1/sqrt(3).
+		{"simple", []float64{1, 2, 3}, 2, 1 / math.Sqrt(3)},
+		// stddev of {4,8} is 2*sqrt(2); stderr = 2*sqrt(2)/sqrt(2) = 2.
+		{"pair", []float64{4, 8}, 6, 2},
+	}
+	for _, c := range cases {
+		mean, stderr := MeanStderr(c.xs)
+		if math.Abs(mean-c.mean) > 1e-12 || math.Abs(stderr-c.stderr) > 1e-12 {
+			t.Errorf("%s: MeanStderr = (%v, %v), want (%v, %v)", c.name, mean, stderr, c.mean, c.stderr)
+		}
+	}
+}
+
+func TestMeanStderrDeterministicOrder(t *testing.T) {
+	// Identical input order must give bit-identical sums (the experiments
+	// runner relies on this for byte-stable output at any parallelism).
+	xs := []float64{0.1, 0.2, 0.30000000004, 1e-9, 7.7}
+	m1, s1 := MeanStderr(xs)
+	m2, s2 := MeanStderr(xs)
+	if m1 != m2 || s1 != s2 {
+		t.Error("MeanStderr not reproducible on identical input")
 	}
 }
