@@ -51,6 +51,7 @@ func metricSafe(s string) string {
 }
 
 func BenchmarkFig4b_SymmetricAvgFCT(b *testing.B) {
+	b.ReportAllocs()
 	sc := experiments.Quick()
 	var rows []experiments.Row
 	for i := 0; i < b.N; i++ {
@@ -60,6 +61,7 @@ func BenchmarkFig4b_SymmetricAvgFCT(b *testing.B) {
 }
 
 func BenchmarkFig4c_AsymmetricAvgFCT(b *testing.B) {
+	b.ReportAllocs()
 	sc := experiments.Quick()
 	var rows []experiments.Row
 	for i := 0; i < b.N; i++ {
@@ -69,6 +71,7 @@ func BenchmarkFig4c_AsymmetricAvgFCT(b *testing.B) {
 }
 
 func BenchmarkFig5a_MiceFCT(b *testing.B) {
+	b.ReportAllocs()
 	sc := experiments.Quick()
 	sc.Loads = []float64{0.7} // the breakdown figure's interesting point
 	var rows []experiments.Row
@@ -81,6 +84,7 @@ func BenchmarkFig5a_MiceFCT(b *testing.B) {
 }
 
 func BenchmarkFig5b_ElephantFCT(b *testing.B) {
+	b.ReportAllocs()
 	sc := experiments.Quick()
 	sc.Loads = []float64{0.7}
 	var rows []experiments.Row
@@ -93,6 +97,7 @@ func BenchmarkFig5b_ElephantFCT(b *testing.B) {
 }
 
 func BenchmarkFig5c_P99FCT(b *testing.B) {
+	b.ReportAllocs()
 	sc := experiments.Quick()
 	sc.Loads = []float64{0.7}
 	var rows []experiments.Row
@@ -105,6 +110,7 @@ func BenchmarkFig5c_P99FCT(b *testing.B) {
 }
 
 func BenchmarkFig6_ParamSensitivity(b *testing.B) {
+	b.ReportAllocs()
 	sc := experiments.Quick()
 	sc.Loads = []float64{0.7}
 	var rows []experiments.Row
@@ -115,6 +121,7 @@ func BenchmarkFig6_ParamSensitivity(b *testing.B) {
 }
 
 func BenchmarkFig7_Incast(b *testing.B) {
+	b.ReportAllocs()
 	sc := experiments.Quick()
 	var rows []experiments.Row
 	for i := 0; i < b.N; i++ {
@@ -128,6 +135,7 @@ func BenchmarkFig7_Incast(b *testing.B) {
 }
 
 func BenchmarkFig8a_SimSymmetric(b *testing.B) {
+	b.ReportAllocs()
 	sc := experiments.Quick()
 	var rows []experiments.Row
 	for i := 0; i < b.N; i++ {
@@ -137,6 +145,7 @@ func BenchmarkFig8a_SimSymmetric(b *testing.B) {
 }
 
 func BenchmarkFig8b_SimAsymmetric(b *testing.B) {
+	b.ReportAllocs()
 	sc := experiments.Quick()
 	var rows []experiments.Row
 	for i := 0; i < b.N; i++ {
@@ -146,6 +155,7 @@ func BenchmarkFig8b_SimAsymmetric(b *testing.B) {
 }
 
 func BenchmarkFig9_MiceCDF(b *testing.B) {
+	b.ReportAllocs()
 	sc := experiments.Quick()
 	var rows []experiments.Row
 	for i := 0; i < b.N; i++ {
@@ -157,6 +167,7 @@ func BenchmarkFig9_MiceCDF(b *testing.B) {
 }
 
 func BenchmarkHeadlineSummary(b *testing.B) {
+	b.ReportAllocs()
 	sc := experiments.Quick()
 	var h experiments.HeadlineResult
 	for i := 0; i < b.N; i++ {
@@ -193,6 +204,7 @@ func ablationRun(b *testing.B, mutate func(*cluster.Config)) float64 {
 // BenchmarkAblationBeta sweeps the weight-reduction fraction (Sec. 3.2
 // suggests "e.g., by a third").
 func BenchmarkAblationBeta(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, beta := range []float64{0.125, 1.0 / 3.0, 0.5} {
 			beta := beta
@@ -205,6 +217,7 @@ func BenchmarkAblationBeta(b *testing.B) {
 // BenchmarkAblationRelayFreq sweeps the ECN relay interval around the
 // paper's RTT/2 recommendation.
 func BenchmarkAblationRelayFreq(b *testing.B) {
+	b.ReportAllocs()
 	rtt := netem.BuildLeafSpine(sim.New(0), netem.ScaledTestbed(1.0, 4)).BaseRTT()
 	for i := 0; i < b.N; i++ {
 		for _, mult := range []float64{0.25, 0.5, 2, 4} {
@@ -220,6 +233,7 @@ func BenchmarkAblationRelayFreq(b *testing.B) {
 // BenchmarkAblationPathCount sweeps the number of discovered disjoint paths
 // k (Sec. 3.1 picks k from the probe results).
 func BenchmarkAblationPathCount(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, k := range []int{2, 3, 4} {
 			k := k
@@ -232,6 +246,7 @@ func BenchmarkAblationPathCount(b *testing.B) {
 // BenchmarkAblationFlowletGap reproduces the gap sensitivity at finer grain
 // than Fig. 6.
 func BenchmarkAblationFlowletGap(b *testing.B) {
+	b.ReportAllocs()
 	rtt := netem.BuildLeafSpine(sim.New(0), netem.ScaledTestbed(1.0, 4)).BaseRTT()
 	for i := 0; i < b.N; i++ {
 		for _, mult := range []float64{0.5, 1, 2, 4} {
@@ -247,6 +262,7 @@ func BenchmarkAblationFlowletGap(b *testing.B) {
 // BenchmarkAblationProberVsOracle verifies real traceroute discovery costs
 // nothing measurable vs the oracle installation.
 func BenchmarkAblationProberVsOracle(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, prober := range []bool{false, true} {
 			prober := prober
@@ -269,6 +285,7 @@ func BenchmarkAblationProberVsOracle(b *testing.B) {
 // multi-core hardware.
 
 func benchSweepAtJ(b *testing.B, workers int) {
+	b.ReportAllocs()
 	b.Helper()
 	sc := experiments.Quick()
 	sc.Parallelism = workers
@@ -284,6 +301,8 @@ func BenchmarkSweepJMax(b *testing.B) { benchSweepAtJ(b, runtime.GOMAXPROCS(0)) 
 // BenchmarkSimulatorThroughput measures raw simulator speed: events per
 // second on a loaded fabric (engineering metric, not a paper figure).
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
 	for i := 0; i < b.N; i++ {
 		c := cluster.New(cluster.Config{
 			Seed: 1, Topo: netem.ScaledTestbed(1.0, 4), Scheme: cluster.SchemeCloveECN,
@@ -291,8 +310,10 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		c.RunWebSearch(cluster.WebSearchParams{
 			Load: 0.5, TotalJobs: 500, SizeScale: 0.1, MaxSimTime: 300 * sim.Second,
 		})
+		events += c.Sim.Processed()
 		b.ReportMetric(float64(c.Sim.Processed()), "events/run")
 	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
 
 func fmtFloat(f float64) string {

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"clove"
 )
@@ -40,8 +42,42 @@ func main() {
 		jobs      = flag.Int("jobs", 0, "override total jobs per run")
 		sizeScale = flag.Float64("size-scale", 0, "override flow-size multiplier")
 		seeds     = flag.Int("seeds", 0, "override number of seeds (1..n)")
+
+		// Profiling (see EXPERIMENTS.md "Performance").
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clovesim: -cpuprofile:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "clovesim: -cpuprofile:", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clovesim: -memprofile:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		runtime.GC() // settle live objects so the profile shows retained allocs
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "clovesim: -memprofile:", err)
+			os.Exit(2)
+		}
+	}()
 
 	var sc clove.Scale
 	switch *scale {

@@ -155,6 +155,9 @@ func New(cfg Config) *Cluster {
 		c.tcpCfg = tcp.DefaultConfig()
 	}
 	c.tcpCfg.ECN = cfg.TenantECN
+	// All transport endpoints draw segments from (and release them to) the
+	// topology's shared packet free list.
+	c.tcpCfg.Pool = ls.Pool()
 
 	if cfg.AsymmetricFailure {
 		ls.FailPaperLink()

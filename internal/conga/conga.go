@@ -56,6 +56,7 @@ type spineState struct {
 type Fabric struct {
 	sim    *sim.Simulator
 	cfg    Config
+	pool   *packet.Pool
 	leaves map[packet.NodeID]*leafState
 	spines map[packet.NodeID]*spineState
 	// leafOf maps a host to its leaf switch ID.
@@ -69,6 +70,7 @@ func Attach(s *sim.Simulator, ls *netem.LeafSpine, cfg Config) *Fabric {
 	f := &Fabric{
 		sim:    s,
 		cfg:    cfg,
+		pool:   ls.Pool(),
 		leaves: map[packet.NodeID]*leafState{},
 		spines: map[packet.NodeID]*spineState{},
 		leafOf: map[packet.HostID]packet.NodeID{},
@@ -179,7 +181,9 @@ func (f *Fabric) pickLeaf(sw *netem.Switch, st *leafState, pkt *packet.Packet, c
 				break
 			}
 		}
-		pkt.Conga = &packet.Conga{LBTag: tag}
+		c := f.pool.GetConga()
+		c.LBTag = tag
+		pkt.Conga = c
 		// Piggyback one feedback metric about paths from dstLeaf to us.
 		if m := st.fromLeaf[dstLeaf]; len(m) > 0 {
 			cursor := st.fbCursor[dstLeaf]

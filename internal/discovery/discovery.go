@@ -56,11 +56,13 @@ type Stats struct {
 	PathSetUpdates  int64
 }
 
-// round is one in-flight discovery round toward a destination.
+// round is one in-flight discovery round toward a destination. Only the
+// echoed link ID is kept per hop — the echo packet itself belongs to the
+// vswitch and is recycled as soon as the handler returns.
 type round struct {
 	dst    packet.HostID
 	ports  []uint16
-	echoes map[uint16]map[int]*packet.Packet // port -> hop -> echo
+	echoes map[uint16]map[int]packet.LinkID // port -> hop -> echoed egress link
 }
 
 // Prober drives discovery through one hypervisor's virtual switch and
@@ -118,7 +120,7 @@ func (p *Prober) Discover(dst packet.HostID) {
 	p.stats.Rounds++
 	id := p.nextProbeID
 	p.nextProbeID++
-	r := &round{dst: dst, echoes: map[uint16]map[int]*packet.Packet{}}
+	r := &round{dst: dst, echoes: map[uint16]map[int]packet.LinkID{}}
 	rng := p.sim.Rand()
 	seen := map[uint16]bool{}
 	for len(r.ports) < p.cfg.CandidatePorts {
@@ -147,10 +149,10 @@ func (p *Prober) handleEcho(echo *packet.Packet) {
 	p.stats.EchoesReceived++
 	hops := r.echoes[echo.ProbePort]
 	if hops == nil {
-		hops = map[int]*packet.Packet{}
+		hops = map[int]packet.LinkID{}
 		r.echoes[echo.ProbePort] = hops
 	}
-	hops[echo.HopIndex] = echo
+	hops[echo.HopIndex] = echo.EchoLink
 }
 
 // finish assembles complete paths from echoes and installs the selection.
@@ -189,21 +191,21 @@ func (p *Prober) finish(id uint32) {
 // egress link chosen at that hop; an EchoLink of -1 marks the destination
 // host, terminating the path. The path is complete when hops 1..end are all
 // present.
-func assemblePath(port uint16, hops map[int]*packet.Packet) (Path, bool) {
+func assemblePath(port uint16, hops map[int]packet.LinkID) (Path, bool) {
 	if len(hops) == 0 {
 		return Path{}, false
 	}
 	path := Path{Port: port}
 	for h := 1; ; h++ {
-		echo, ok := hops[h]
+		link, ok := hops[h]
 		if !ok {
 			return Path{}, false // lost echo: incomplete trace
 		}
-		if echo.EchoLink == -1 {
+		if link == -1 {
 			path.Hops = h - 1
 			return path, true
 		}
-		path.Links = append(path.Links, echo.EchoLink)
+		path.Links = append(path.Links, link)
 	}
 }
 

@@ -125,9 +125,9 @@ func TestPeriodicRediscoveryAdaptsToTopologyChange(t *testing.T) {
 
 func TestAssemblePathIncomplete(t *testing.T) {
 	// Missing hop 2: incomplete.
-	hops := map[int]*packet.Packet{
-		1: {EchoLink: 5, HopIndex: 1},
-		3: {EchoLink: -1, HopIndex: 3},
+	hops := map[int]packet.LinkID{
+		1: 5,
+		3: -1,
 	}
 	if _, ok := assemblePath(100, hops); ok {
 		t.Error("path with missing hop assembled")

@@ -14,6 +14,7 @@ type Host struct {
 	hostID packet.HostID
 	name   string
 	uplink *Link // host -> leaf
+	pool   *packet.Pool
 
 	// Deliver is invoked for every packet arriving at the NIC. The vswitch
 	// installs itself here. Packets arriving before installation are counted
@@ -36,6 +37,10 @@ func (h *Host) Name() string { return h.name }
 // Uplink returns the host->leaf link (the NIC egress).
 func (h *Host) Uplink() *Link { return h.uplink }
 
+// Pool returns the simulation-wide packet free list (shared by everything
+// built on this host's topology).
+func (h *Host) Pool() *packet.Pool { return h.pool }
+
 // RxPackets reports packets delivered to this host.
 func (h *Host) RxPackets() int64 { return h.rxPackets }
 
@@ -47,6 +52,7 @@ func (h *Host) Receive(pkt *packet.Packet, _ *Link) {
 	h.rxPackets++
 	if h.Deliver == nil {
 		h.undelivered++
+		h.pool.Put(pkt)
 		return
 	}
 	h.Deliver(pkt)

@@ -45,12 +45,14 @@ type Link struct {
 	queueCap int // packets
 	ecnK     int // mark when queued packets >= ecnK at enqueue; 0 disables
 
-	queue  []*packet.Packet
-	busy   bool
-	up     bool
-	dre    *DRE
-	stats  LinkStats
-	onDrop func(*packet.Packet)
+	queue   []*packet.Packet
+	sending *packet.Packet // the packet occupying the serializer, if any
+	busy    bool
+	up      bool
+	dre     *DRE
+	pool    *packet.Pool
+	stats   LinkStats
+	onDrop  func(*packet.Packet)
 }
 
 // LinkConfig parameterizes a link.
@@ -64,7 +66,7 @@ type LinkConfig struct {
 // DefaultQueueCap is the per-port buffer used when LinkConfig.QueueCap is 0.
 const DefaultQueueCap = 256
 
-func newLink(s *sim.Simulator, id packet.LinkID, name string, from packet.NodeID, to Node, cfg LinkConfig) *Link {
+func newLink(s *sim.Simulator, pool *packet.Pool, id packet.LinkID, name string, from packet.NodeID, to Node, cfg LinkConfig) *Link {
 	if cfg.QueueCap == 0 {
 		cfg.QueueCap = DefaultQueueCap
 	}
@@ -72,6 +74,7 @@ func newLink(s *sim.Simulator, id packet.LinkID, name string, from packet.NodeID
 		id:       id,
 		name:     name,
 		sim:      s,
+		pool:     pool,
 		from:     from,
 		to:       to,
 		rate:     cfg.RateBps,
@@ -79,6 +82,8 @@ func newLink(s *sim.Simulator, id packet.LinkID, name string, from packet.NodeID
 		queueCap: cfg.QueueCap,
 		ecnK:     cfg.ECNK,
 		up:       true,
+		// Sized to capacity up front so steady-state enqueues never regrow.
+		queue: make([]*packet.Packet, 0, cfg.QueueCap),
 	}
 	l.dre = NewDRE(s, cfg.RateBps)
 	return l
@@ -128,7 +133,11 @@ func (l *Link) SetUp(up bool) {
 	l.up = up
 	if !up {
 		l.stats.DownDrops += int64(len(l.queue))
-		l.queue = nil
+		for i, pkt := range l.queue {
+			l.pool.Put(pkt)
+			l.queue[i] = nil
+		}
+		l.queue = l.queue[:0]
 		// The packet currently serializing (if any) is lost too; the busy
 		// flag is cleared when its tx timer fires and finds the link down.
 	}
@@ -142,6 +151,7 @@ func (l *Link) Enqueue(pkt *packet.Packet) {
 		if l.onDrop != nil {
 			l.onDrop(pkt)
 		}
+		l.pool.Put(pkt)
 		return
 	}
 	if len(l.queue) >= l.queueCap {
@@ -149,6 +159,7 @@ func (l *Link) Enqueue(pkt *packet.Packet) {
 		if l.onDrop != nil {
 			l.onDrop(pkt)
 		}
+		l.pool.Put(pkt)
 		return
 	}
 	if l.ecnK > 0 && len(l.queue) >= l.ecnK {
@@ -162,6 +173,23 @@ func (l *Link) Enqueue(pkt *packet.Packet) {
 	}
 }
 
+// linkTxDone and linkPropagate are the static trampolines for the two
+// per-packet-hop events. Using package-level EventFuncs (rather than
+// closures or method values) with the link and packet passed as operands is
+// what makes a forwarded hop schedule zero allocations.
+func linkTxDone(a, _ any) { a.(*Link).txDone() }
+
+func linkPropagate(a, b any) {
+	l := a.(*Link)
+	pkt := b.(*packet.Packet)
+	if l.up {
+		l.to.Receive(pkt, l)
+		return
+	}
+	l.stats.DownDrops++
+	l.pool.Put(pkt)
+}
+
 func (l *Link) transmitNext() {
 	if len(l.queue) == 0 || !l.up {
 		l.busy = false
@@ -170,6 +198,7 @@ func (l *Link) transmitNext() {
 	pkt := l.queue[0]
 	// Shift rather than re-slice forever; the queue is short (<= queueCap).
 	copy(l.queue, l.queue[1:])
+	l.queue[len(l.queue)-1] = nil
 	l.queue = l.queue[:len(l.queue)-1]
 
 	l.busy = true
@@ -185,20 +214,24 @@ func (l *Link) transmitNext() {
 
 	// Serializer occupies the link for txTime; the packet lands after
 	// txTime + propagation delay.
-	l.sim.After(txTime, func() {
-		if l.up {
-			l.sim.After(l.delay, func() {
-				if l.up {
-					l.to.Receive(pkt, l)
-				} else {
-					l.stats.DownDrops++
-				}
-			})
-		} else {
-			l.stats.DownDrops++
-		}
-		l.transmitNext()
-	})
+	l.sending = pkt
+	l.sim.AfterCall(txTime, linkTxDone, l, nil)
+}
+
+// txDone fires when the serializer finishes: hand the packet to the
+// propagation stage and start on the next queued packet. The propagation
+// event is scheduled before transmitNext so the event-sequence order is
+// identical to the nested-closure formulation this replaced.
+func (l *Link) txDone() {
+	pkt := l.sending
+	l.sending = nil
+	if l.up {
+		l.sim.AfterCall(l.delay, linkPropagate, l, pkt)
+	} else {
+		l.stats.DownDrops++
+		l.pool.Put(pkt)
+	}
+	l.transmitNext()
 }
 
 // String implements fmt.Stringer.

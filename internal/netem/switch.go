@@ -36,6 +36,7 @@ type Switch struct {
 	id   packet.NodeID
 	name string
 	sim  *sim.Simulator
+	pool *packet.Pool
 	seed uint64
 	topo *Topology
 
@@ -136,6 +137,7 @@ func (s *Switch) Receive(pkt *packet.Packet, ingress *Link) {
 	candidates := s.routes[dst]
 	if len(candidates) == 0 {
 		s.stats.NoRoute++
+		s.pool.Put(pkt)
 		return
 	}
 
@@ -181,24 +183,28 @@ func (s *Switch) answerProbe(probe *packet.Packet) {
 		chosenLink = s.ecmpPick(probe, cands).ID()
 	}
 
-	echo := &packet.Packet{
-		Kind:      packet.KindProbeEcho,
-		ProbeID:   probe.ProbeID,
-		ProbePort: probe.ProbePort,
-		HopIndex:  probe.HopIndex,
-		EchoNode:  s.id,
-		EchoLink:  chosenLink,
-		TTL:       64,
-		Encap: &packet.Encap{
-			SrcHyp:  probe.Encap.DstHyp, // nominal; echoes route on DstHyp
-			DstHyp:  src,
-			SrcPort: probe.ProbePort,
-			DstPort: probe.Encap.DstPort,
-		},
-	}
+	echo := s.pool.Get()
+	echo.Kind = packet.KindProbeEcho
+	echo.ProbeID = probe.ProbeID
+	echo.ProbePort = probe.ProbePort
+	echo.HopIndex = probe.HopIndex
+	echo.EchoNode = s.id
+	echo.EchoLink = chosenLink
+	echo.TTL = 64
+	e := s.pool.GetEncap()
+	e.SrcHyp = probe.Encap.DstHyp // nominal; echoes route on DstHyp
+	e.DstHyp = src
+	e.SrcPort = probe.ProbePort
+	e.DstPort = probe.Encap.DstPort
+	echo.Encap = e
+
+	// The probe terminates here; the echo replaces it on the wire.
+	s.pool.Put(probe)
+
 	cands := s.routes[src]
 	if len(cands) == 0 {
 		s.stats.NoRoute++
+		s.pool.Put(echo)
 		return
 	}
 	s.ecmpPick(echo, cands).Enqueue(echo)

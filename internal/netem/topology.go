@@ -13,6 +13,11 @@ import (
 type Topology struct {
 	Sim *sim.Simulator
 
+	// pool is the simulation-wide packet free list. Every link, switch, and
+	// host of this topology shares it, as do the vswitches and TCP endpoints
+	// stacked on top (they fetch it via Host.Pool / Topology.Pool).
+	pool *packet.Pool
+
 	hosts    []*Host
 	switches []*Switch
 	links    []*Link
@@ -26,10 +31,13 @@ type Topology struct {
 	RouteRecomputeDelay sim.Time
 }
 
-// NewTopology creates an empty fabric bound to s.
+// NewTopology creates an empty fabric bound to s, with a fresh packet pool.
 func NewTopology(s *sim.Simulator) *Topology {
-	return &Topology{Sim: s, byName: map[string]*Link{}}
+	return &Topology{Sim: s, pool: &packet.Pool{}, byName: map[string]*Link{}}
 }
+
+// Pool returns the simulation-wide packet free list.
+func (t *Topology) Pool() *packet.Pool { return t.pool }
 
 // Hosts returns all hosts in creation order (HostID order).
 func (t *Topology) Hosts() []*Host { return t.hosts }
@@ -57,6 +65,7 @@ func (t *Topology) AddSwitch(name string) *Switch {
 		id:     t.nextNode,
 		name:   name,
 		sim:    t.Sim,
+		pool:   t.pool,
 		seed:   0x9e3779b97f4a7c15 * uint64(t.nextNode+1),
 		topo:   t,
 		routes: map[packet.HostID][]*Link{},
@@ -71,7 +80,7 @@ func (t *Topology) AddSwitch(name string) *Switch {
 // marking — a local stack backpressures rather than marks); downCfg shapes
 // the leaf's switch port toward the host.
 func (t *Topology) AddHost(name string, leaf *Switch, upCfg, downCfg LinkConfig) *Host {
-	h := &Host{id: t.nextNode, hostID: packet.HostID(len(t.hosts)), name: name}
+	h := &Host{id: t.nextNode, hostID: packet.HostID(len(t.hosts)), name: name, pool: t.pool}
 	t.nextNode++
 	up := t.addLink(fmt.Sprintf("%s->%s#0", name, leaf.name), h.id, leaf, upCfg)
 	down := t.addLink(fmt.Sprintf("%s->%s#0", leaf.name, name), leaf.id, h, downCfg)
@@ -94,7 +103,7 @@ func (t *Topology) Connect(a, b *Switch, trunk int, cfg LinkConfig) {
 }
 
 func (t *Topology) addLink(name string, from packet.NodeID, to Node, cfg LinkConfig) *Link {
-	l := newLink(t.Sim, t.nextLink, name, from, to, cfg)
+	l := newLink(t.Sim, t.pool, t.nextLink, name, from, to, cfg)
 	t.nextLink++
 	t.links = append(t.links, l)
 	t.byName[name] = l

@@ -5,9 +5,27 @@
 //
 // The simulator moves packets as structs for speed; the byte-level codecs in
 // internal/wire mirror these fields one-to-one for the real datapath.
+//
+// # Packet ownership and Release
+//
+// Hot simulation paths recycle packets through a per-simulation Pool rather
+// than allocating per segment. The ownership rule is: a packet belongs to
+// whichever component currently holds it, and the component that takes it
+// OUT of the simulated network — the TCP endpoint that consumes a delivered
+// segment, the link or switch that drops it, the vswitch that terminally
+// handles a control packet — must release it with Pool.Put. Components that
+// forward a packet (links, switches, vswitch encap/decap) pass ownership
+// along and must not touch it afterwards; components that intentionally
+// retain one (a reorder buffer, a test capturing delivery) take ownership
+// and simply never Put it. After Put the packet's contents are zeroed and
+// the struct may be reissued by the next Get, so holding a reference across
+// a Put is a use-after-release bug.
 package packet
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // HostID identifies a physical server (and its hypervisor) in the fabric.
 type HostID int32
@@ -40,9 +58,23 @@ func (t FiveTuple) Reverse() FiveTuple {
 	return FiveTuple{Src: t.Dst, Dst: t.Src, SrcPort: t.DstPort, DstPort: t.SrcPort, Proto: t.Proto}
 }
 
-// String formats the tuple as "src:port>dst:port/proto".
+// String formats the tuple as "src:port>dst:port/proto". It is hand-rolled
+// on strconv so trace and debug paths cost one allocation (the returned
+// string) instead of fmt's boxing of every operand.
 func (t FiveTuple) String() string {
-	return fmt.Sprintf("%d:%d>%d:%d/%d", t.Src, t.SrcPort, t.Dst, t.DstPort, t.Proto)
+	// Worst case: two int32s (11 runes each), three uint16s (5 each),
+	// four separators: 41 bytes. 48 keeps the array comfortably stack-sized.
+	var buf [48]byte
+	b := strconv.AppendInt(buf[:0], int64(t.Src), 10)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, uint64(t.SrcPort), 10)
+	b = append(b, '>')
+	b = strconv.AppendInt(b, int64(t.Dst), 10)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, uint64(t.DstPort), 10)
+	b = append(b, '/')
+	b = strconv.AppendUint(b, uint64(t.Proto), 10)
+	return string(b)
 }
 
 // TCPFlags is the inner TCP flag set (only the bits the model needs).

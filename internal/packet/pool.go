@@ -1,0 +1,141 @@
+package packet
+
+// Pool is a single-threaded free list for Packet, Encap, and Conga structs,
+// owned by one simulation (the topology builder creates it; every element of
+// that simulation shares it). It exists because the simulator's hot path —
+// one Packet per TCP segment, one Encap per overlay hop, one ACK per
+// delivery — otherwise spends most of its time in the allocator.
+//
+// Pool is deliberately not a sync.Pool: simulations are sequential programs
+// and a sync.Pool's per-P caches and GC-driven emptying would both cost
+// more and make reuse patterns nondeterministic across runs.
+//
+// All methods are nil-receiver safe: a nil *Pool degrades to plain
+// allocation on Get and a no-op on Put, so components built outside a
+// pooled simulation (unit tests, examples) need no wiring.
+//
+// See the package comment for the ownership rule governing who must call
+// Put. Put zeroes the struct before recycling, so recycled and fresh
+// structs are indistinguishable — a requirement for run determinism.
+type Pool struct {
+	packets []*Packet
+	encaps  []*Encap
+	congas  []*Conga
+
+	// Counters for telemetry and leak tests.
+	gets, puts int64
+}
+
+// maxPoolFree bounds each free list; surplus structs are left to the GC.
+// Peak in-flight packets in even the paper-scale fabric is far below this.
+const maxPoolFree = 1 << 15
+
+// Gets reports how many packets this pool has issued (fresh or recycled).
+func (p *Pool) Gets() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.gets
+}
+
+// Puts reports how many packets have been released back.
+func (p *Pool) Puts() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.puts
+}
+
+// FreePackets reports the current packet free-list size.
+func (p *Pool) FreePackets() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.packets)
+}
+
+// Get returns a zeroed packet, recycled when possible.
+func (p *Pool) Get() *Packet {
+	if p == nil {
+		return &Packet{}
+	}
+	p.gets++
+	if n := len(p.packets); n > 0 {
+		pkt := p.packets[n-1]
+		p.packets[n-1] = nil
+		p.packets = p.packets[:n-1]
+		return pkt
+	}
+	return &Packet{}
+}
+
+// Put releases a packet (and its Encap and Conga, when present) back to the
+// pool. The packet must not be referenced afterwards. Put(nil) is a no-op.
+func (p *Pool) Put(pkt *Packet) {
+	if p == nil || pkt == nil {
+		return
+	}
+	p.puts++
+	if pkt.Encap != nil {
+		p.PutEncap(pkt.Encap)
+	}
+	if pkt.Conga != nil {
+		p.PutConga(pkt.Conga)
+	}
+	*pkt = Packet{}
+	if len(p.packets) < maxPoolFree {
+		p.packets = append(p.packets, pkt)
+	}
+}
+
+// GetEncap returns a zeroed encapsulation header, recycled when possible.
+func (p *Pool) GetEncap() *Encap {
+	if p == nil {
+		return &Encap{}
+	}
+	if n := len(p.encaps); n > 0 {
+		e := p.encaps[n-1]
+		p.encaps[n-1] = nil
+		p.encaps = p.encaps[:n-1]
+		return e
+	}
+	return &Encap{}
+}
+
+// PutEncap releases an encap header detached from its packet (the decap
+// path); Put releases an attached one automatically.
+func (p *Pool) PutEncap(e *Encap) {
+	if p == nil || e == nil {
+		return
+	}
+	*e = Encap{}
+	if len(p.encaps) < maxPoolFree {
+		p.encaps = append(p.encaps, e)
+	}
+}
+
+// GetConga returns a zeroed CONGA metadata header, recycled when possible.
+func (p *Pool) GetConga() *Conga {
+	if p == nil {
+		return &Conga{}
+	}
+	if n := len(p.congas); n > 0 {
+		c := p.congas[n-1]
+		p.congas[n-1] = nil
+		p.congas = p.congas[:n-1]
+		return c
+	}
+	return &Conga{}
+}
+
+// PutConga releases a detached CONGA header; Put releases an attached one
+// automatically.
+func (p *Pool) PutConga(c *Conga) {
+	if p == nil || c == nil {
+		return
+	}
+	*c = Conga{}
+	if len(p.congas) < maxPoolFree {
+		p.congas = append(p.congas, c)
+	}
+}

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// chainState drives a self-rescheduling event chain through the static
+// trampoline below — the allocation-free scheduling idiom the network model
+// uses on its per-packet paths.
+type chainState struct {
+	s     *Simulator
+	left  int
+	fired int
+}
+
+func chainStep(a, _ any) {
+	st := a.(*chainState)
+	st.fired++
+	st.left--
+	if st.left > 0 {
+		st.s.AfterCall(Microsecond, chainStep, st, nil)
+	}
+}
+
+func noopCall(_, _ any) {}
+
+// runChain schedules and drains a chain of n events.
+func runChain(s *Simulator, st *chainState, n int) {
+	st.left = n
+	s.AfterCall(0, chainStep, st, nil)
+	s.Run()
+}
+
+// TestHotPathChainZeroAllocs is the core tentpole assertion: once the free
+// list is warm, scheduling and firing events through AtCall/AfterCall
+// allocates nothing.
+func TestHotPathChainZeroAllocs(t *testing.T) {
+	s := New(1)
+	st := &chainState{s: s}
+	runChain(s, st, 100) // warm the free list and heap backing array
+
+	allocs := testing.AllocsPerRun(50, func() {
+		runChain(s, st, 100)
+	})
+	if allocs != 0 {
+		t.Fatalf("allocs per 100-event chain = %v, want 0", allocs)
+	}
+}
+
+// BenchmarkHotPathEventChain measures ns/event on the pooled scheduling path
+// and fails on any alloc regression (the CI bench-smoke job runs it).
+func BenchmarkHotPathEventChain(b *testing.B) {
+	s := New(1)
+	st := &chainState{s: s}
+	runChain(s, st, 100)
+	if allocs := testing.AllocsPerRun(20, func() { runChain(s, st, 100) }); allocs != 0 {
+		b.Fatalf("allocs per 100-event chain = %v, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runChain(s, st, 100)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*100)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// TestMillionOneShotEventsRecycle runs one million chained one-shot events
+// and checks that (a) nothing stays pending, (b) the free list stays at the
+// peak-pending size — a couple of structs, not a million — and (c) recycled
+// events are fully cleared so the free list cannot pin dead closures or
+// operands against the GC.
+func TestMillionOneShotEventsRecycle(t *testing.T) {
+	s := New(1)
+	st := &chainState{s: s}
+	const n = 1_000_000
+	runChain(s, st, n)
+
+	if st.fired != n {
+		t.Fatalf("fired %d events, want %d", st.fired, n)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Errorf("Pending() = %d after run, want 0", got)
+	}
+	if free := s.FreeEvents(); free > 4 {
+		t.Errorf("FreeEvents() = %d after chained run, want a handful (peak pending was 1)", free)
+	}
+	for i, ev := range s.free {
+		if ev.fn != nil || ev.call != nil || ev.a != nil || ev.b != nil {
+			t.Fatalf("free[%d] not cleared: fn-set=%t call-set=%t a=%v b=%v",
+				i, ev.fn != nil, ev.call != nil, ev.a, ev.b)
+		}
+	}
+}
+
+// TestBurstFreeListBounded schedules a large burst up front (peak pending =
+// burst size) and checks the free list respects its cap afterwards.
+func TestBurstFreeListBounded(t *testing.T) {
+	s := New(1)
+	const burst = maxEventFree * 2
+	for i := 0; i < burst; i++ {
+		s.AtCall(Time(i), noopCall, nil, nil)
+	}
+	s.Run()
+	if got := s.Pending(); got != 0 {
+		t.Errorf("Pending() = %d, want 0", got)
+	}
+	if free := s.FreeEvents(); free > maxEventFree {
+		t.Errorf("FreeEvents() = %d, exceeds cap %d", free, maxEventFree)
+	}
+}
+
+// TestCancelStaleIDAfterFire verifies a fired event's ID goes stale: it can
+// neither report a successful cancel nor touch the event struct's next
+// incarnation.
+func TestCancelStaleIDAfterFire(t *testing.T) {
+	s := New(1)
+	ran := 0
+	id := s.AtCall(10, func(a, _ any) { *(a.(*int))++ }, &ran, nil)
+	s.Run()
+	if ran != 1 {
+		t.Fatalf("event ran %d times, want 1", ran)
+	}
+	if s.Cancel(id) {
+		t.Error("Cancel succeeded on an already-fired event")
+	}
+
+	// The struct is now on the free list; the next schedule reuses it.
+	ran2 := 0
+	id2 := s.AtCall(20, func(a, _ any) { *(a.(*int))++ }, &ran2, nil)
+	if id2.ev != id.ev {
+		t.Fatalf("expected the recycled struct to be reused (free list size 1)")
+	}
+	if s.Cancel(id) {
+		t.Error("stale ID cancelled the struct's next incarnation")
+	}
+	s.Run()
+	if ran2 != 1 {
+		t.Errorf("second incarnation ran %d times, want 1 (stale ID must not affect it)", ran2)
+	}
+}
+
+// TestCancelStaleIDAfterCancel is the same guarantee for cancellation: a
+// cancelled event's ID cannot cancel or suppress the recycled struct.
+func TestCancelStaleIDAfterCancel(t *testing.T) {
+	s := New(1)
+	id := s.AtCall(10, func(_, _ any) { t.Error("cancelled event fired") }, nil, nil)
+	if !s.Cancel(id) {
+		t.Fatal("first Cancel failed")
+	}
+	if s.Cancel(id) {
+		t.Error("second Cancel of the same ID succeeded")
+	}
+
+	ran := 0
+	id2 := s.AtCall(20, func(a, _ any) { *(a.(*int))++ }, &ran, nil)
+	if id2.ev != id.ev {
+		t.Fatalf("expected struct reuse after cancel")
+	}
+	if id2.gen == id.gen {
+		t.Fatal("generation not bumped on recycle")
+	}
+	if s.Cancel(id) {
+		t.Error("stale ID cancelled the recycled event")
+	}
+	s.Run()
+	if ran != 1 {
+		t.Errorf("recycled event ran %d times, want 1", ran)
+	}
+}
+
+// TestStressMixedScheduleCancel drives a randomized mix of At, After,
+// AtCall, and Cancel against a reference model and requires the fired
+// sequence to match the model exactly — order included. Heavy cancellation
+// keeps the free list churning, so every firing exercises recycled structs.
+func TestStressMixedScheduleCancel(t *testing.T) {
+	s := New(7)
+	rng := rand.New(rand.NewSource(42))
+
+	type entry struct {
+		id        EventID
+		at        Time
+		seq       int // scheduling order, the FIFO tiebreak
+		payload   int
+		cancelled bool
+	}
+	var entries []*entry
+	var fired []int
+	note := func(a, _ any) { fired = append(fired, a.(*entry).payload) }
+
+	const ops = 5000
+	for op := 0; op < ops; op++ {
+		switch r := rng.Intn(10); {
+		case r < 3: // closure form
+			e := &entry{at: Time(rng.Intn(1000)), seq: op, payload: op}
+			e.id = s.At(e.at, func() { fired = append(fired, e.payload) })
+			entries = append(entries, e)
+		case r < 6: // pooled form
+			e := &entry{at: Time(rng.Intn(1000)), seq: op, payload: op}
+			e.id = s.AtCall(e.at, note, e, nil)
+			entries = append(entries, e)
+		default: // cancel a random live entry
+			live := make([]*entry, 0, len(entries))
+			for _, e := range entries {
+				if !e.cancelled {
+					live = append(live, e)
+				}
+			}
+			if len(live) == 0 {
+				continue
+			}
+			e := live[rng.Intn(len(live))]
+			if !s.Cancel(e.id) {
+				t.Fatalf("Cancel of live event %d failed", e.payload)
+			}
+			e.cancelled = true
+			if s.Cancel(e.id) {
+				t.Fatalf("double Cancel of event %d succeeded", e.payload)
+			}
+		}
+	}
+	s.Run()
+
+	var want []int
+	alive := make([]*entry, 0, len(entries))
+	for _, e := range entries {
+		if !e.cancelled {
+			alive = append(alive, e)
+		}
+	}
+	sort.Slice(alive, func(i, j int) bool {
+		if alive[i].at != alive[j].at {
+			return alive[i].at < alive[j].at
+		}
+		return alive[i].seq < alive[j].seq
+	})
+	for _, e := range alive {
+		want = append(want, e.payload)
+	}
+
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d events, model says %d", len(fired), len(want))
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("firing order diverges at %d: got %d, want %d", i, fired[i], want[i])
+		}
+	}
+	if got := s.Pending(); got != 0 {
+		t.Errorf("Pending() = %d, want 0", got)
+	}
+}

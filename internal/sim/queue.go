@@ -2,19 +2,42 @@ package sim
 
 import "container/heap"
 
-// event is one scheduled callback.
+// EventFunc is the closure-free callback form used on the simulator's hot
+// path. The two operands are supplied at scheduling time (AtCall/AfterCall)
+// and handed back verbatim when the event fires, so callers can bind a
+// receiver and a payload without allocating a closure per event. Pass
+// pointers (or nil): boxing a pointer into an interface does not allocate,
+// while boxing most scalar values does.
+type EventFunc func(a, b any)
+
+// event is one scheduled callback. Fired and cancelled events are recycled
+// through the Simulator's free list; gen distinguishes incarnations so a
+// stale EventID can never cancel (or be confused with) the struct's next
+// tenant.
 type event struct {
 	at  Time
 	seq uint64 // tie-breaker: FIFO among equal timestamps
-	fn  func()
+	fn  func() // cold path: closure form (At/After)
+
+	// Hot path: closure-free form (AtCall/AfterCall). When call is non-nil
+	// it takes precedence over fn.
+	call EventFunc
+	a, b any
+
+	gen uint32 // incarnation counter, bumped on every recycle
 	// index within the heap, maintained by heap.Interface methods, so that
 	// cancellation can be O(log n). Negative once removed.
 	index int
 }
 
 // EventID identifies a scheduled event so it can be cancelled. The zero
-// EventID is never issued.
-type EventID struct{ ev *event }
+// EventID is never issued. IDs are incarnation-stamped: once the event has
+// fired or been cancelled, the ID goes stale and Cancel on it is a no-op,
+// even if the underlying struct has been recycled for a new event.
+type EventID struct {
+	ev  *event
+	gen uint32
+}
 
 // eventHeap is a min-heap ordered by (at, seq).
 type eventHeap []*event

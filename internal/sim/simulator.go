@@ -6,14 +6,28 @@ import (
 	"math/rand"
 )
 
+// maxEventFree bounds the Simulator's event free list. Recycling beyond the
+// peak number of concurrently pending events buys nothing, and the cap keeps
+// a burst from pinning memory for the rest of the run; surplus events are
+// simply left to the garbage collector.
+const maxEventFree = 1 << 15
+
 // Simulator is a single-threaded discrete-event scheduler. It owns the
 // virtual clock: time only advances when Run (or Step) pops the next event.
 //
 // Simulator is not safe for concurrent use; the simulated network is a
 // sequential program by design so that runs are reproducible.
+//
+// Scheduling comes in two forms. At/After take a plain closure and are fine
+// for cold paths (setup, workload arrival chains, tickers). AtCall/AfterCall
+// take a static EventFunc plus two operands and do not allocate per event:
+// the event structs themselves are recycled through a free list as they fire
+// or are cancelled, so the per-packet event path of the network model runs
+// allocation-free.
 type Simulator struct {
 	now    Time
 	queue  eventHeap
+	free   []*event
 	nextID uint64
 	rng    *rand.Rand
 
@@ -40,16 +54,58 @@ func (s *Simulator) Processed() uint64 { return s.processed }
 // Pending reports how many events are scheduled but not yet fired.
 func (s *Simulator) Pending() int { return len(s.queue) }
 
-// At schedules fn to run at absolute time at. Scheduling in the past (before
-// Now) panics: it would violate causality and always indicates a bug.
-func (s *Simulator) At(at Time, fn func()) EventID {
+// FreeEvents reports the current size of the event free list (telemetry and
+// leak tests; the list is bounded by maxEventFree).
+func (s *Simulator) FreeEvents() int { return len(s.free) }
+
+// getEvent takes a recycled event or allocates a fresh one. The returned
+// event keeps its gen (incarnations accumulate) but every payload field is
+// already cleared.
+func (s *Simulator) getEvent() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// putEvent recycles a fired or cancelled event. The gen bump invalidates
+// every outstanding EventID for this incarnation, and clearing fn/call/a/b
+// is what keeps the free list from pinning dead closures or packets across
+// the (arbitrarily long) wait until reuse.
+func (s *Simulator) putEvent(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.call = nil
+	ev.a, ev.b = nil, nil
+	ev.index = -1
+	if len(s.free) < maxEventFree {
+		s.free = append(s.free, ev)
+	}
+}
+
+func (s *Simulator) schedule(at Time) *event {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
 	}
-	ev := &event{at: at, seq: s.nextID, fn: fn}
+	ev := s.getEvent()
+	ev.at = at
+	ev.seq = s.nextID
 	s.nextID++
 	heap.Push(&s.queue, ev)
-	return EventID{ev: ev}
+	return ev
+}
+
+// At schedules fn to run at absolute time at. Scheduling in the past (before
+// Now) panics: it would violate causality and always indicates a bug.
+//
+// The closure form allocates; use AtCall on per-packet paths.
+func (s *Simulator) At(at Time, fn func()) EventID {
+	ev := s.schedule(at)
+	ev.fn = fn
+	return EventID{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run delay after the current time.
@@ -60,14 +116,55 @@ func (s *Simulator) After(delay Time, fn func()) EventID {
 	return s.At(s.now+delay, fn)
 }
 
-// Cancel removes a scheduled event. Cancelling an already-fired or
-// already-cancelled event is a no-op and reports false.
+// AtCall schedules fn(a, b) at absolute time at without allocating: the
+// event struct comes from the free list and fn is a static function value
+// rather than a closure. Callers pass their receiver and payload through a
+// and b (pointers box into interfaces allocation-free).
+func (s *Simulator) AtCall(at Time, fn EventFunc, a, b any) EventID {
+	ev := s.schedule(at)
+	ev.call = fn
+	ev.a, ev.b = a, b
+	return EventID{ev: ev, gen: ev.gen}
+}
+
+// AfterCall schedules fn(a, b) delay after the current time; the
+// allocation-free form of After.
+func (s *Simulator) AfterCall(delay Time, fn EventFunc, a, b any) EventID {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return s.AtCall(s.now+delay, fn, a, b)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired,
+// already-cancelled, or otherwise stale ID is a no-op and reports false;
+// generation stamps guarantee a stale ID can never cancel a later event
+// that happens to reuse the same recycled struct.
 func (s *Simulator) Cancel(id EventID) bool {
-	if id.ev == nil || id.ev.index < 0 {
+	ev := id.ev
+	if ev == nil || ev.gen != id.gen || ev.index < 0 {
 		return false
 	}
-	s.queue.remove(id.ev.index)
+	s.queue.remove(ev.index)
+	s.putEvent(ev)
 	return true
+}
+
+// fire pops the next event, advances the clock, and runs the callback. The
+// event is recycled before the callback executes, so a callback that
+// immediately reschedules reuses the struct it just vacated and the free
+// list stays at the size of the peak pending set.
+func (s *Simulator) fire() {
+	ev := heap.Pop(&s.queue).(*event)
+	s.now = ev.at
+	s.processed++
+	fn, call, a, b := ev.fn, ev.call, ev.a, ev.b
+	s.putEvent(ev)
+	if call != nil {
+		call(a, b)
+		return
+	}
+	fn()
 }
 
 // Step fires the single next event. It reports false when the queue is empty.
@@ -75,10 +172,7 @@ func (s *Simulator) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&s.queue).(*event)
-	s.now = ev.at
-	s.processed++
-	ev.fn()
+	s.fire()
 	return true
 }
 
@@ -113,10 +207,7 @@ func (s *Simulator) runInternal(cont func() bool) {
 		if !cont() {
 			return
 		}
-		ev := heap.Pop(&s.queue).(*event)
-		s.now = ev.at
-		s.processed++
-		ev.fn()
+		s.fire()
 	}
 }
 

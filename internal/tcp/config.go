@@ -9,7 +9,10 @@
 // unbounded, and there is no SACK (NewReno partial-ACK recovery instead).
 package tcp
 
-import "clove/internal/sim"
+import (
+	"clove/internal/packet"
+	"clove/internal/sim"
+)
 
 // Config holds the transport parameters shared by senders and receivers.
 type Config struct {
@@ -31,6 +34,11 @@ type Config struct {
 	SlowStartAfterIdle bool
 	// DupAckThreshold triggers fast retransmit (normally 3).
 	DupAckThreshold int
+	// Pool, when set, is the simulation's packet free list: outgoing
+	// segments and ACKs are drawn from it, and consumed incoming packets
+	// are released back to it (see the packet package ownership rule). A
+	// nil Pool falls back to plain allocation.
+	Pool *packet.Pool
 }
 
 // DefaultConfig returns datacenter-tuned parameters: 1460B MSS, IW10, 2 ms

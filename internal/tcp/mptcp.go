@@ -61,13 +61,18 @@ func NewMPSender(s *sim.Simulator, cfg Config, base packet.FiveTuple, n int, out
 func (m *MPSender) Subflows() []*Sender { return m.subflows }
 
 // HandleAck dispatches an ACK to the owning subflow by inner source port
-// (ACK dst port == subflow src port).
+// (ACK dst port == subflow src port). The packet is consumed either way.
 func (m *MPSender) HandleAck(pkt *packet.Packet) {
+	matched := false
 	for _, sub := range m.subflows {
 		if sub.flow.SrcPort == pkt.Inner.DstPort {
 			sub.HandleAck(pkt)
+			matched = true
 			break
 		}
+	}
+	if !matched {
+		m.cfg.Pool.Put(pkt)
 	}
 	m.applyLIA()
 	m.pump()

@@ -54,13 +54,17 @@ func (r *Receiver) RcvNxt() int64 { return r.rcvNxt }
 func (r *Receiver) OOOSegments() int { return len(r.ooo) }
 
 // HandleData processes an incoming (inner, already-decapsulated) data
-// segment and emits a cumulative ACK.
+// segment and emits a cumulative ACK. The receiver consumes the packet: it
+// is released to the configured pool before returning and must not be
+// referenced by the caller afterwards.
 func (r *Receiver) HandleData(pkt *packet.Packet) {
 	r.stats.SegmentsReceived++
-	if pkt.InnerCE {
+	ce := pkt.InnerCE
+	if ce {
 		r.stats.CESeen++
 	}
 	start, end := pkt.Seq, pkt.Seq+int64(pkt.PayloadLen)
+	r.cfg.Pool.Put(pkt)
 
 	switch {
 	case end <= r.rcvNxt:
@@ -74,7 +78,7 @@ func (r *Receiver) HandleData(pkt *packet.Packet) {
 		r.rcvNxt = end
 		r.drainOOO()
 	}
-	r.sendAck(pkt.InnerCE)
+	r.sendAck(ce)
 }
 
 func (r *Receiver) insertOOO(start, end int64) {
@@ -110,13 +114,12 @@ func (r *Receiver) sendAck(ce bool) {
 	if ce && r.cfg.ECN {
 		flags |= packet.FlagECE
 	}
-	ack := &packet.Packet{
-		Kind:     packet.KindData,
-		Inner:    r.flow.Reverse(),
-		Ack:      r.rcvNxt,
-		Flags:    flags,
-		InnerECT: r.cfg.ECN,
-	}
+	ack := r.cfg.Pool.Get()
+	ack.Kind = packet.KindData
+	ack.Inner = r.flow.Reverse()
+	ack.Ack = r.rcvNxt
+	ack.Flags = flags
+	ack.InnerECT = r.cfg.ECN
 	r.stats.AcksSent++
 	r.Output(ack)
 }

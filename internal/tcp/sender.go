@@ -117,14 +117,19 @@ func (s *Sender) StartJob(size int64, done func(fct sim.Time)) {
 	s.trySend()
 }
 
-// HandleAck processes an incoming (inner) ACK segment.
+// HandleAck processes an incoming (inner) ACK segment. The sender consumes
+// the packet: it is released to the configured pool before returning and
+// must not be referenced by the caller afterwards.
 func (s *Sender) HandleAck(pkt *packet.Packet) {
 	if !pkt.Flags.Has(packet.FlagACK) {
+		s.cfg.Pool.Put(pkt)
 		return
 	}
 	ack := pkt.Ack
+	ece := s.cfg.ECN && pkt.Flags.Has(packet.FlagECE)
+	s.cfg.Pool.Put(pkt)
 
-	if s.cfg.ECN && pkt.Flags.Has(packet.FlagECE) {
+	if ece {
 		s.onECE()
 	}
 
@@ -261,14 +266,13 @@ func (s *Sender) emit(seq int64, segLen int, isRexmit bool) {
 	}
 	// The last byte of the stream so far carries FIN semantics for the
 	// receiver's bookkeeping; harmless for middle jobs.
-	p := &packet.Packet{
-		Kind:       packet.KindData,
-		Inner:      s.flow,
-		Seq:        seq,
-		Flags:      flags,
-		PayloadLen: segLen,
-		InnerECT:   s.cfg.ECN,
-	}
+	p := s.cfg.Pool.Get()
+	p.Kind = packet.KindData
+	p.Inner = s.flow
+	p.Seq = seq
+	p.Flags = flags
+	p.PayloadLen = segLen
+	p.InnerECT = s.cfg.ECN
 	s.stats.SegmentsSent++
 	if isRexmit {
 		s.stats.Retransmits++
@@ -314,10 +318,14 @@ func (s *Sender) currentRTO() sim.Time {
 	return rto
 }
 
+// senderRTO is the static trampoline for the retransmission timer; a method
+// value here would allocate on every restart (once per ACK in steady state).
+func senderRTO(a, _ any) { a.(*Sender).onRTO() }
+
 func (s *Sender) restartRTO() {
 	s.stopRTO()
 	s.rtoActive = true
-	s.rtoTimer = s.sim.After(s.currentRTO(), s.onRTO)
+	s.rtoTimer = s.sim.AfterCall(s.currentRTO(), senderRTO, s, nil)
 }
 
 func (s *Sender) stopRTO() {

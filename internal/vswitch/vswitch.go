@@ -107,17 +107,22 @@ type VSwitch struct {
 	host *netem.Host
 	cfg  Config
 	self packet.HostID
+	pool *packet.Pool
 
 	policy   PathPolicy
 	flowlets *flowletTableShim
+
+	// deliverFn is v.deliver bound once at construction; taking the method
+	// value per delivered packet would allocate.
+	deliverFn func(*packet.Packet)
 
 	// endpoints maps an arriving inner 5-tuple to its VM-side handler.
 	endpoints map[packet.FiveTuple]func(*packet.Packet)
 
 	// obs is receiver-side path state per remote hypervisor.
 	obs map[packet.HostID]*peerObs
-	// standaloneArmed tracks pending standalone-feedback timers per peer.
-	standaloneArmed map[packet.HostID]bool
+	// standalone tracks the standalone-feedback timer state per peer.
+	standalone map[packet.HostID]*standaloneState
 
 	// OnProbeEcho, when set, receives discovery echoes (the prober).
 	OnProbeEcho func(*packet.Packet)
@@ -144,15 +149,17 @@ type flowletTableShim struct {
 // the host's delivery handler.
 func New(s *sim.Simulator, host *netem.Host, cfg Config, policy PathPolicy) *VSwitch {
 	v := &VSwitch{
-		sim:             s,
-		host:            host,
-		cfg:             cfg,
-		self:            host.HostID(),
-		policy:          policy,
-		endpoints:       map[packet.FiveTuple]func(*packet.Packet){},
-		obs:             map[packet.HostID]*peerObs{},
-		standaloneArmed: map[packet.HostID]bool{},
+		sim:        s,
+		host:       host,
+		cfg:        cfg,
+		self:       host.HostID(),
+		pool:       host.Pool(),
+		policy:     policy,
+		endpoints:  map[packet.FiveTuple]func(*packet.Packet){},
+		obs:        map[packet.HostID]*peerObs{},
+		standalone: map[packet.HostID]*standaloneState{},
 	}
+	v.deliverFn = v.deliver
 	v.flowlets = newFlowletShim(cfg.FlowletGap)
 	v.baseGap = cfg.FlowletGap
 	if cfg.AdaptiveFlowletGap {
@@ -235,13 +242,13 @@ func (v *VSwitch) FromVM(pkt *packet.Packet) {
 		port = *entryPort
 	}
 
-	pkt.Encap = &packet.Encap{
-		SrcHyp:  v.self,
-		DstHyp:  dstHyp,
-		SrcPort: port,
-		DstPort: v.cfg.EncapDstPort,
-		ECT:     true,
-	}
+	e := v.pool.GetEncap()
+	e.SrcHyp = v.self
+	e.DstHyp = dstHyp
+	e.SrcPort = port
+	e.DstPort = v.cfg.EncapDstPort
+	e.ECT = true
+	pkt.Encap = e
 	if v.cfg.RequestINT {
 		pkt.INT.Enabled = true
 	}
@@ -259,19 +266,18 @@ func (v *VSwitch) FromVM(pkt *packet.Packet) {
 // SendProbe emits a discovery probe toward dst with the given candidate
 // source port and TTL. Echoes come back through OnProbeEcho.
 func (v *VSwitch) SendProbe(dst packet.HostID, srcPort uint16, ttl int, probeID uint32) {
-	p := &packet.Packet{
-		Kind:      packet.KindProbe,
-		ProbeID:   probeID,
-		ProbePort: srcPort,
-		TTL:       ttl,
-		HopIndex:  ttl,
-		Encap: &packet.Encap{
-			SrcHyp:  v.self,
-			DstHyp:  dst,
-			SrcPort: srcPort,
-			DstPort: v.cfg.EncapDstPort,
-		},
-	}
+	p := v.pool.Get()
+	p.Kind = packet.KindProbe
+	p.ProbeID = probeID
+	p.ProbePort = srcPort
+	p.TTL = ttl
+	p.HopIndex = ttl
+	e := v.pool.GetEncap()
+	e.SrcHyp = v.self
+	e.DstHyp = dst
+	e.SrcPort = srcPort
+	e.DstPort = v.cfg.EncapDstPort
+	p.Encap = e
 	v.host.Send(p)
 }
 
@@ -282,8 +288,11 @@ func (v *VSwitch) FromNetwork(pkt *packet.Packet) {
 	case packet.KindProbeEcho:
 		v.stats.ProbeEchoes++
 		if v.OnProbeEcho != nil {
+			// The hook may inspect but not retain the echo: it is released
+			// as soon as the hook returns.
 			v.OnProbeEcho(pkt)
 		}
+		v.pool.Put(pkt)
 		return
 	case packet.KindProbe:
 		// Probe outlived the path: we are the destination. Answer like a
@@ -295,6 +304,7 @@ func (v *VSwitch) FromNetwork(pkt *packet.Packet) {
 			v.stats.FeedbackReceived++
 			v.policy.OnFeedback(pkt.Encap.SrcHyp, pkt.Encap.Feedback, now)
 		}
+		v.pool.Put(pkt)
 		return
 	}
 
@@ -333,8 +343,10 @@ func (v *VSwitch) FromNetwork(pkt *packet.Packet) {
 		}
 	}
 
-	// 3. Decapsulate.
+	// 3. Decapsulate. The detached overlay header goes straight back to the
+	// pool; the inner packet lives on toward the VM.
 	outerCE := pkt.Encap.CE
+	v.pool.PutEncap(pkt.Encap)
 	pkt.Encap = nil
 	v.stats.Decapped++
 
@@ -358,37 +370,41 @@ func (v *VSwitch) FromNetwork(pkt *packet.Packet) {
 
 	// 4. Deliver to the VM, via the policy's receiver hook if any.
 	if hook, ok := v.policy.(receiverHook); ok {
-		hook.OnDeliver(pkt, v.deliver)
+		hook.OnDeliver(pkt, v.deliverFn)
 		return
 	}
 	v.deliver(pkt)
 }
 
+// deliver hands the packet to the registered VM-side endpoint, which takes
+// ownership (the TCP endpoints release consumed packets themselves).
 func (v *VSwitch) deliver(pkt *packet.Packet) {
 	h := v.endpoints[pkt.Inner]
 	if h == nil {
 		v.stats.NoHandler++
+		v.pool.Put(pkt)
 		return
 	}
 	h(pkt)
 }
 
 func (v *VSwitch) answerProbe(probe *packet.Packet) {
-	echo := &packet.Packet{
-		Kind:      packet.KindProbeEcho,
-		ProbeID:   probe.ProbeID,
-		ProbePort: probe.ProbePort,
-		HopIndex:  probe.HopIndex,
-		EchoNode:  v.host.ID(),
-		EchoLink:  -1,
-		TTL:       64,
-		Encap: &packet.Encap{
-			SrcHyp:  v.self,
-			DstHyp:  probe.Encap.SrcHyp,
-			SrcPort: probe.ProbePort,
-			DstPort: v.cfg.EncapDstPort,
-		},
-	}
+	echo := v.pool.Get()
+	echo.Kind = packet.KindProbeEcho
+	echo.ProbeID = probe.ProbeID
+	echo.ProbePort = probe.ProbePort
+	echo.HopIndex = probe.HopIndex
+	echo.EchoNode = v.host.ID()
+	echo.EchoLink = -1
+	echo.TTL = 64
+	e := v.pool.GetEncap()
+	e.SrcHyp = v.self
+	e.DstHyp = probe.Encap.SrcHyp
+	e.SrcPort = probe.ProbePort
+	e.DstPort = v.cfg.EncapDstPort
+	echo.Encap = e
+	// The probe terminates here; the echo replaces it on the wire.
+	v.pool.Put(probe)
 	v.host.Send(echo)
 }
 
@@ -440,32 +456,50 @@ func (v *VSwitch) takeFeedback(peer packet.HostID, now sim.Time) (packet.Feedbac
 	return fb, true
 }
 
+// standaloneState is the per-peer timer record for standalone feedback. One
+// struct per peer lives for the whole run, so arming a timer allocates
+// nothing: the state pointer rides in the event's operand slot.
+type standaloneState struct {
+	v     *VSwitch
+	peer  packet.HostID
+	armed bool
+}
+
+func standaloneFire(a, _ any) { a.(*standaloneState).fire() }
+
+func (st *standaloneState) fire() {
+	st.armed = false
+	v := st.v
+	fb, ok := v.takeFeedback(st.peer, v.sim.Now())
+	if !ok || !fb.ECN {
+		return
+	}
+	v.stats.FeedbackStandalone++
+	p := v.pool.Get()
+	p.Kind = packet.KindFeedback
+	e := v.pool.GetEncap()
+	e.SrcHyp = v.self
+	e.DstHyp = st.peer
+	e.SrcPort = portHash(packet.FiveTuple{Src: v.self, Dst: st.peer}, uint32(v.sim.Now()))
+	e.DstPort = v.cfg.EncapDstPort
+	e.Feedback = fb
+	p.Encap = e
+	v.host.Send(p)
+}
+
 // armStandalone schedules a standalone feedback packet to peer if pending
 // congestion state is not piggybacked within RelayInterval.
 func (v *VSwitch) armStandalone(peer packet.HostID) {
-	if v.standaloneArmed[peer] {
+	st := v.standalone[peer]
+	if st == nil {
+		st = &standaloneState{v: v, peer: peer}
+		v.standalone[peer] = st
+	}
+	if st.armed {
 		return
 	}
-	v.standaloneArmed[peer] = true
-	v.sim.After(v.cfg.RelayInterval, func() {
-		v.standaloneArmed[peer] = false
-		fb, ok := v.takeFeedback(peer, v.sim.Now())
-		if !ok || !fb.ECN {
-			return
-		}
-		v.stats.FeedbackStandalone++
-		p := &packet.Packet{
-			Kind: packet.KindFeedback,
-			Encap: &packet.Encap{
-				SrcHyp:   v.self,
-				DstHyp:   peer,
-				SrcPort:  portHash(packet.FiveTuple{Src: v.self, Dst: peer}, uint32(v.sim.Now())),
-				DstPort:  v.cfg.EncapDstPort,
-				Feedback: fb,
-			},
-		}
-		v.host.Send(p)
-	})
+	st.armed = true
+	v.sim.AfterCall(v.cfg.RelayInterval, standaloneFire, st, nil)
 }
 
 // String implements fmt.Stringer.

@@ -354,8 +354,10 @@ func TestPrestoStaticWeights(t *testing.T) {
 
 func TestProbeEchoReachesProber(t *testing.T) {
 	r := newRig(t, 11, func(int) PathPolicy { return NewECMP() }, nil)
-	var echoes []*packet.Packet
-	r.vsw[0].OnProbeEcho = func(p *packet.Packet) { echoes = append(echoes, p) }
+	// The hook may not retain the echo packet (the vswitch recycles it when
+	// the hook returns), so copy out the field under test.
+	var echoes []packet.LinkID
+	r.vsw[0].OnProbeEcho = func(p *packet.Packet) { echoes = append(echoes, p.EchoLink) }
 	for ttl := 1; ttl <= 5; ttl++ {
 		r.vsw[0].SendProbe(16, 51000, ttl, 42)
 	}
@@ -365,8 +367,8 @@ func TestProbeEchoReachesProber(t *testing.T) {
 	}
 	// TTL 4 and 5 overshoot the 3-switch path: answered by the host.
 	hostEchoes := 0
-	for _, e := range echoes {
-		if e.EchoLink == -1 {
+	for _, link := range echoes {
+		if link == -1 {
 			hostEchoes++
 		}
 	}
