@@ -31,11 +31,12 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate (4b..9, summary, all)")
-		scale   = flag.String("scale", "standard", "run scale: quick | standard | paper")
-		load    = flag.Float64("load", 0.7, "network load for -fig summary")
-		verbose = flag.Bool("v", false, "stream per-run progress")
-		workers = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial); output is identical for any -j")
+		fig       = flag.String("fig", "all", "figure to regenerate (4b..9, summary, all)")
+		scale     = flag.String("scale", "standard", "run scale: quick | standard | paper")
+		load      = flag.Float64("load", 0.7, "network load for -fig summary")
+		verbose   = flag.Bool("v", false, "stream per-run progress")
+		workers   = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial); output is identical for any -j")
+		useOracle = flag.Bool("oracle", false, "run every simulation under the correctness oracle (see EXPERIMENTS.md \"Correctness\"); panics on any invariant violation")
 
 		// Optional overrides on top of the chosen scale.
 		hosts     = flag.Int("hosts", 0, "override hosts per leaf")
@@ -107,6 +108,7 @@ func main() {
 		}
 	}
 	sc.Parallelism = *workers
+	sc.Oracle = *useOracle
 
 	var progress io.Writer
 	if *verbose {

@@ -1,0 +1,62 @@
+package clove
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden from the current simulator output")
+
+// TestGoldenFiguresQuick pins the quick-scale output of every reproducible
+// figure byte-for-byte against testdata/golden/quick/. Two full passes run:
+// serial (-j 1) with the correctness oracle installed — so every figure is
+// also certified against the conservation/TCP/pool/queue/flowlet invariants
+// — and parallel (-j 4) without it, proving worker-pool scheduling cannot
+// leak into results. Any intentional simulator change regenerates the files
+// with `go test -run TestGoldenFiguresQuick -update`.
+func TestGoldenFiguresQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden figure regression is minutes of simulation; skipped in -short")
+	}
+	passes := []struct {
+		name        string
+		parallelism int
+		oracle      bool
+	}{
+		{"serial-oracle", 1, true},
+		{"parallel-j4", 4, false},
+	}
+	for _, pass := range passes {
+		pass := pass
+		t.Run(pass.name, func(t *testing.T) {
+			for _, id := range FigureIDs() {
+				sc := QuickScale()
+				sc.Parallelism = pass.parallelism
+				sc.Oracle = pass.oracle
+				rows, err := RunFigure(id, sc, nil)
+				if err != nil {
+					t.Fatalf("RunFigure(%q): %v", id, err)
+				}
+				got := FormatRows(rows)
+				path := filepath.Join("testdata", "golden", "quick", fmt.Sprintf("fig%s.txt", id))
+				if *updateGolden && pass.name == "serial-oracle" {
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatalf("update golden %s: %v", path, err)
+					}
+					continue
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden (run with -update to create): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("fig%s output diverges from %s (-update to accept):\n--- got ---\n%s--- want ---\n%s",
+						id, path, got, want)
+				}
+			}
+		})
+	}
+}

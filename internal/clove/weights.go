@@ -32,6 +32,11 @@ type WeightTableConfig struct {
 	// UtilAge is how long an INT utilization sample stays trusted; older
 	// samples decay toward zero (optimism re-probes quiet paths).
 	UtilAge sim.Time
+	// Frozen disables all weight adaptation: OnCongestion and OnUtilization
+	// become no-ops before touching any state, so the table stays at the
+	// uniform weights it was created with. Differential tests use this to
+	// compare Clove-ECN's machinery against a plain round-robin reference.
+	Frozen bool
 }
 
 // DefaultWeightTableConfig matches the paper's parameters: beta = 1/3,
@@ -131,6 +136,9 @@ func (t *WeightTable) NextPort() uint16 { return t.wrr.Next() }
 // currently-uncongested other paths (over all other paths if none is
 // uncongested), then re-floor and renormalize.
 func (t *WeightTable) OnCongestion(port uint16, now sim.Time) {
+	if t.cfg.Frozen {
+		return
+	}
 	idx := t.index(port)
 	if idx < 0 {
 		return
@@ -168,6 +176,9 @@ func (t *WeightTable) OnCongestion(port uint16, now sim.Time) {
 
 // OnUtilization records an INT utilization report for port.
 func (t *WeightTable) OnUtilization(port uint16, util float64, now sim.Time) {
+	if t.cfg.Frozen {
+		return
+	}
 	if idx := t.index(port); idx >= 0 {
 		t.paths[idx].Util = util
 		t.paths[idx].UtilAt = now

@@ -12,6 +12,7 @@ import (
 	"clove/internal/conga"
 	"clove/internal/discovery"
 	"clove/internal/netem"
+	"clove/internal/oracle"
 	"clove/internal/packet"
 	"clove/internal/sim"
 	"clove/internal/stats"
@@ -37,6 +38,11 @@ const (
 	// (NIC timestamping + synchronized clocks), and new flowlets go to the
 	// currently-fastest path.
 	SchemeCloveLatency Scheme = "clove-latency"
+	// SchemeCloveUniform is a differential-testing reference, not a paper
+	// scheme (it is deliberately absent from AllSchemes): plain round-robin
+	// over discovered paths. Clove-ECN with frozen uniform weights must
+	// behave byte-for-byte identically to it.
+	SchemeCloveUniform Scheme = "clove-uniform"
 )
 
 // AllSchemes lists every scheme in presentation order (the paper's eight
@@ -90,6 +96,13 @@ type Config struct {
 	// hypervisor's consumption. (DCTCP-style tenants are the paper's
 	// future-work discussion, reachable by setting this.)
 	TenantECN bool
+	// Oracle installs the correctness oracle (internal/oracle) on this run.
+	// Observation never perturbs the simulation; call CheckOracle after the
+	// run for the verdict.
+	Oracle bool
+	// FreezeWeights disables Clove weight adaptation (WeightTableConfig
+	// .Frozen) — differential tests only.
+	FreezeWeights bool
 }
 
 // Cluster is a fully wired deployment ready to run workloads.
@@ -102,6 +115,8 @@ type Cluster struct {
 	Conga     *conga.Fabric
 	Probers   []*discovery.Prober
 	Recorder  *stats.FCTRecorder
+	// Oracle is the installed correctness oracle, nil unless Config.Oracle.
+	Oracle *oracle.Oracle
 
 	rtt      sim.Time
 	tcpCfg   tcp.Config
@@ -138,6 +153,13 @@ func New(cfg Config) *Cluster {
 		conns:    map[connKey]*Conn{},
 		nextPort: 10000,
 	}
+	// The oracle attaches before anything else happens (in particular before
+	// FailPaperLink) so its link-state tracking observes every transition.
+	if cfg.Oracle {
+		c.Oracle = oracle.New()
+		ls.Pool().SetObserver(c.Oracle)
+		s.SetEventHook(c.Oracle.AfterEvent)
+	}
 	// Defaults match the paper's best settings (Fig. 6): flowlet gap of one
 	// network RTT, feedback relay every half RTT (Sec. 3.2). The Fig. 6
 	// parameter scan on this simulator reproduces the same optimum.
@@ -170,7 +192,7 @@ func New(cfg Config) *Cluster {
 		StandaloneFeedback: true,
 	}
 	switch cfg.Scheme {
-	case SchemeCloveECN, SchemeCloveINT:
+	case SchemeCloveECN, SchemeCloveINT, SchemeCloveUniform:
 		vcfg.MaskECN = true
 		vcfg.RequestINT = cfg.Scheme == SchemeCloveINT
 	case SchemeCloveLatency:
@@ -186,6 +208,7 @@ func New(cfg Config) *Cluster {
 	// stale state over the (longer) flowlet timescale.
 	wtCfg := clove.DefaultWeightTableConfig(c.rtt)
 	wtCfg.Beta = c.Cfg.Beta
+	wtCfg.Frozen = cfg.FreezeWeights
 	if cfg.CongestedAge > 0 {
 		wtCfg.CongestedAge = cfg.CongestedAge
 	}
@@ -202,6 +225,8 @@ func New(cfg Config) *Cluster {
 			pol = vswitch.NewEdgeFlowlet()
 		case SchemeCloveECN:
 			pol = vswitch.NewCloveECN(wtCfg)
+		case SchemeCloveUniform:
+			pol = vswitch.NewCloveUniform()
 		case SchemeCloveINT, SchemeCloveLatency:
 			// Both are "least reflected metric" policies: INT stamps max
 			// link utilization; the latency variant reflects one-way delay.
@@ -233,10 +258,19 @@ func (c *Cluster) RTT() sim.Time { return c.rtt }
 // needsPaths reports whether the scheme consumes discovered path sets.
 func (c *Cluster) needsPaths() bool {
 	switch c.Cfg.Scheme {
-	case SchemeCloveECN, SchemeCloveINT, SchemeCloveLatency, SchemePresto:
+	case SchemeCloveECN, SchemeCloveINT, SchemeCloveLatency, SchemePresto, SchemeCloveUniform:
 		return true
 	}
 	return false
+}
+
+// CheckOracle returns the oracle's end-of-run verdict, nil when the oracle
+// is not installed or found no violation.
+func (c *Cluster) CheckOracle() error {
+	if c.Oracle == nil {
+		return nil
+	}
+	return c.Oracle.Check(c.Sim.Pending())
 }
 
 // SetupPaths installs path sets for every (src, dst) pair that will carry

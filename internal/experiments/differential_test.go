@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"clove/internal/cluster"
+)
+
+// TestFrozenCloveECNEquivalentToUniform is the differential property behind
+// the Clove-ECN machinery: with weight adaptation frozen, the smooth-WRR
+// scheduler over uniform weights must visit paths in plain round-robin
+// order, so an entire frozen Clove-ECN run must be sample-for-sample
+// identical to the CloveUniform reference policy. Any divergence means the
+// weighted path (WRR state, feedback plumbing, ECN masking) perturbs
+// steering even when the weights say it must not. Both runs execute under
+// the oracle.
+func TestFrozenCloveECNEquivalentToUniform(t *testing.T) {
+	sc := tiny()
+	sc.Seeds = []int64{1, 2}
+	sc.Loads = []float64{0.4, 0.7}
+	sc.Oracle = true
+
+	frozen := sweepOpts{
+		figure: "diff-frozen",
+		mutate: func(cfg *cluster.Config) { cfg.FreezeWeights = true },
+	}
+	uniform := sweepOpts{figure: "diff-uniform"}
+	for _, load := range sc.Loads {
+		for _, seed := range sc.Seeds {
+			recE, toE := runOne(sc, frozen, cluster.SchemeCloveECN, load, seed)
+			recU, toU := runOne(sc, uniform, cluster.SchemeCloveUniform, load, seed)
+			if toE != toU {
+				t.Fatalf("load=%.1f seed=%d: timeout mismatch frozen=%v uniform=%v", load, seed, toE, toU)
+			}
+			sE, sU := recE.Samples(), recU.Samples()
+			if len(sE) == 0 {
+				t.Fatalf("load=%.1f seed=%d: run produced no samples", load, seed)
+			}
+			if len(sE) != len(sU) {
+				t.Fatalf("load=%.1f seed=%d: %d vs %d samples", load, seed, len(sE), len(sU))
+			}
+			for i := range sE {
+				if sE[i] != sU[i] {
+					t.Fatalf("load=%.1f seed=%d: sample %d diverges: frozen=%+v uniform=%+v",
+						load, seed, i, sE[i], sU[i])
+				}
+			}
+			if !reflect.DeepEqual(recE.Summarize(), recU.Summarize()) {
+				t.Fatalf("load=%.1f seed=%d: summaries diverge:\nfrozen:  %+v\nuniform: %+v",
+					load, seed, recE.Summarize(), recU.Summarize())
+			}
+		}
+	}
+}
+
+// TestSeedPermutationInvariance checks that aggregated rows do not depend on
+// the order seed replicates are listed (or, via the runner's determinism,
+// finish): mean and stderr are symmetric functions of the replicates, so
+// FormatRows output must be byte-identical under seed permutation.
+func TestSeedPermutationInvariance(t *testing.T) {
+	opts := sweepOpts{
+		figure:  "perm",
+		schemes: []cluster.Scheme{cluster.SchemeECMP, cluster.SchemeCloveECN},
+	}
+	fwd := tiny()
+	fwd.Seeds = []int64{1, 2}
+	rowsFwd := sweep(fwd, opts, nil)
+
+	rev := tiny()
+	rev.Seeds = []int64{2, 1}
+	rowsRev := sweep(rev, opts, nil)
+
+	a, b := FormatRows(rowsFwd), FormatRows(rowsRev)
+	if a != b {
+		t.Fatalf("seed permutation changed aggregated output:\n{1,2}:\n%s\n{2,1}:\n%s", a, b)
+	}
+}

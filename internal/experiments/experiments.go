@@ -40,6 +40,11 @@ type Scale struct {
 	// value produces byte-identical FormatRows output for the same seeds
 	// (see runner.go); it only changes wall-clock time.
 	Parallelism int
+
+	// Oracle installs the correctness oracle (internal/oracle) on every
+	// run; any detected invariant violation panics with the verdict.
+	// Observation never changes results — output stays byte-identical.
+	Oracle bool
 }
 
 // Quick is sized for CI and `go test -bench`: one seed, few load points,
@@ -124,6 +129,7 @@ func runOne(sc Scale, opts sweepOpts, scheme cluster.Scheme, load float64, seed 
 		Scheme:             scheme,
 		AsymmetricFailure:  opts.asym,
 		PrestoIdealWeights: opts.prestoGood && scheme == cluster.SchemePresto,
+		Oracle:             sc.Oracle,
 	}
 	if opts.mutate != nil {
 		opts.mutate(&cfg)
@@ -136,6 +142,9 @@ func runOne(sc Scale, opts sweepOpts, scheme cluster.Scheme, load float64, seed 
 		SizeScale:      sc.SizeScale,
 		MaxSimTime:     sc.MaxSimTime,
 	})
+	if err := c.CheckOracle(); err != nil {
+		panic(fmt.Sprintf("%s %s load=%.2f seed=%d: %v", opts.figure, scheme, load, seed, err))
+	}
 	return c.Recorder, res.TimedOut
 }
 
@@ -347,6 +356,7 @@ func Fig7(sc Scale, progress io.Writer) []Row {
 			Seed:   seed,
 			Topo:   netem.ScaledTestbed(1.0, sc.HostsPerLeaf),
 			Scheme: p.scheme,
+			Oracle: sc.Oracle,
 		})
 		res := c.RunIncast(cluster.IncastParams{
 			Fanout:        p.fanout,
@@ -354,6 +364,9 @@ func Fig7(sc Scale, progress io.Writer) []Row {
 			Requests:      sc.IncastRequests,
 			MaxSimTime:    sc.MaxSimTime,
 		})
+		if err := c.CheckOracle(); err != nil {
+			panic(fmt.Sprintf("fig7 %s fanout=%d seed=%d: %v", p.scheme, p.fanout, seed, err))
+		}
 		outs[i] = incastOutcome{goodput: res.GoodputBps, completed: res.Completed, timedOut: res.TimedOut}
 		tracker.jobDone(fmt.Sprintf("fig7 %s fanout=%d seed=%d", p.scheme, p.fanout, seed), time.Since(start))
 	})

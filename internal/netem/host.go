@@ -50,6 +50,9 @@ func (h *Host) Send(pkt *packet.Packet) { h.uplink.Enqueue(pkt) }
 // Receive implements Node.
 func (h *Host) Receive(pkt *packet.Packet, _ *Link) {
 	h.rxPackets++
+	if o := h.pool.Obs(); o != nil {
+		o.HostDeliver(h.hostID, pkt)
+	}
 	if h.Deliver == nil {
 		h.undelivered++
 		h.pool.Put(pkt)

@@ -131,9 +131,15 @@ func (l *Link) SetUp(up bool) {
 		return
 	}
 	l.up = up
+	if o := l.pool.Obs(); o != nil {
+		o.LinkSetUp(l.id, up)
+	}
 	if !up {
 		l.stats.DownDrops += int64(len(l.queue))
 		for i, pkt := range l.queue {
+			if o := l.pool.Obs(); o != nil {
+				o.LinkDrop(l.id, pkt, packet.DropLinkDown, len(l.queue), l.queueCap)
+			}
 			l.pool.Put(pkt)
 			l.queue[i] = nil
 		}
@@ -148,6 +154,9 @@ func (l *Link) SetUp(up bool) {
 func (l *Link) Enqueue(pkt *packet.Packet) {
 	if !l.up {
 		l.stats.DownDrops++
+		if o := l.pool.Obs(); o != nil {
+			o.LinkDrop(l.id, pkt, packet.DropLinkDown, len(l.queue), l.queueCap)
+		}
 		if l.onDrop != nil {
 			l.onDrop(pkt)
 		}
@@ -156,16 +165,24 @@ func (l *Link) Enqueue(pkt *packet.Packet) {
 	}
 	if len(l.queue) >= l.queueCap {
 		l.stats.Drops++
+		if o := l.pool.Obs(); o != nil {
+			o.LinkDrop(l.id, pkt, packet.DropQueueFull, len(l.queue), l.queueCap)
+		}
 		if l.onDrop != nil {
 			l.onDrop(pkt)
 		}
 		l.pool.Put(pkt)
 		return
 	}
+	marked := false
 	if l.ecnK > 0 && len(l.queue) >= l.ecnK {
 		if pkt.MarkCE() {
 			l.stats.ECNMarks++
+			marked = true
 		}
+	}
+	if o := l.pool.Obs(); o != nil {
+		o.LinkEnqueue(l.id, pkt, len(l.queue), l.queueCap, l.ecnK, marked)
 	}
 	l.queue = append(l.queue, pkt)
 	if !l.busy {
@@ -183,10 +200,16 @@ func linkPropagate(a, b any) {
 	l := a.(*Link)
 	pkt := b.(*packet.Packet)
 	if l.up {
+		if o := l.pool.Obs(); o != nil {
+			o.LinkDeliver(l.id, pkt)
+		}
 		l.to.Receive(pkt, l)
 		return
 	}
 	l.stats.DownDrops++
+	if o := l.pool.Obs(); o != nil {
+		o.LinkDrop(l.id, pkt, packet.DropLinkDown, len(l.queue), l.queueCap)
+	}
 	l.pool.Put(pkt)
 }
 
@@ -229,6 +252,9 @@ func (l *Link) txDone() {
 		l.sim.AfterCall(l.delay, linkPropagate, l, pkt)
 	} else {
 		l.stats.DownDrops++
+		if o := l.pool.Obs(); o != nil {
+			o.LinkDrop(l.id, pkt, packet.DropLinkDown, len(l.queue), l.queueCap)
+		}
 		l.pool.Put(pkt)
 	}
 	l.transmitNext()

@@ -24,6 +24,29 @@ type Pool struct {
 
 	// Counters for telemetry and leak tests.
 	gets, puts int64
+
+	// obs, when non-nil, observes every pool event (and, via Obs, every
+	// datapath event of the components sharing this pool). See Observer.
+	obs Observer
+}
+
+// SetObserver installs (or, with nil, removes) the datapath observer. Safe
+// on a nil pool (no-op), so test helpers can call it unconditionally.
+func (p *Pool) SetObserver(o Observer) {
+	if p == nil {
+		return
+	}
+	p.obs = o
+}
+
+// Obs returns the installed observer, nil when disabled or when p is nil.
+// Datapath components fetch their observer through the pool they already
+// share; the nil check at each hook site is the entire disabled-mode cost.
+func (p *Pool) Obs() Observer {
+	if p == nil {
+		return nil
+	}
+	return p.obs
 }
 
 // maxPoolFree bounds each free list; surplus structs are left to the GC.
@@ -64,9 +87,16 @@ func (p *Pool) Get() *Packet {
 		pkt := p.packets[n-1]
 		p.packets[n-1] = nil
 		p.packets = p.packets[:n-1]
+		if p.obs != nil {
+			p.obs.PoolGet(pkt)
+		}
 		return pkt
 	}
-	return &Packet{}
+	pkt := &Packet{}
+	if p.obs != nil {
+		p.obs.PoolGet(pkt)
+	}
+	return pkt
 }
 
 // Put releases a packet (and its Encap and Conga, when present) back to the
@@ -74,6 +104,9 @@ func (p *Pool) Get() *Packet {
 func (p *Pool) Put(pkt *Packet) {
 	if p == nil || pkt == nil {
 		return
+	}
+	if p.obs != nil {
+		p.obs.PoolPut(pkt)
 	}
 	p.puts++
 	if pkt.Encap != nil {
@@ -97,9 +130,16 @@ func (p *Pool) GetEncap() *Encap {
 		e := p.encaps[n-1]
 		p.encaps[n-1] = nil
 		p.encaps = p.encaps[:n-1]
+		if p.obs != nil {
+			p.obs.PoolGetEncap(e)
+		}
 		return e
 	}
-	return &Encap{}
+	e := &Encap{}
+	if p.obs != nil {
+		p.obs.PoolGetEncap(e)
+	}
+	return e
 }
 
 // PutEncap releases an encap header detached from its packet (the decap
@@ -107,6 +147,9 @@ func (p *Pool) GetEncap() *Encap {
 func (p *Pool) PutEncap(e *Encap) {
 	if p == nil || e == nil {
 		return
+	}
+	if p.obs != nil {
+		p.obs.PoolPutEncap(e)
 	}
 	*e = Encap{}
 	if len(p.encaps) < maxPoolFree {

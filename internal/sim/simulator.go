@@ -34,6 +34,11 @@ type Simulator struct {
 	processed uint64
 	running   bool
 	stopped   bool
+
+	// onEvent, when non-nil, runs after every fired event's callback. It is
+	// the simulator-side hook of the opt-in correctness oracle (the datapath
+	// hooks travel through packet.Pool, which sim cannot import).
+	onEvent func()
 }
 
 // New returns a Simulator whose random source is seeded with seed.
@@ -162,10 +167,18 @@ func (s *Simulator) fire() {
 	s.putEvent(ev)
 	if call != nil {
 		call(a, b)
-		return
+	} else {
+		fn()
 	}
-	fn()
+	if s.onEvent != nil {
+		s.onEvent()
+	}
 }
+
+// SetEventHook installs (or, with nil, removes) a function invoked after
+// every fired event's callback returns. Used by the correctness oracle for
+// per-event audits; nil (the default) costs one predictable branch per event.
+func (s *Simulator) SetEventHook(fn func()) { s.onEvent = fn }
 
 // Step fires the single next event. It reports false when the queue is empty.
 func (s *Simulator) Step() bool {

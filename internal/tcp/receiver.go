@@ -66,6 +66,7 @@ func (r *Receiver) HandleData(pkt *packet.Packet) {
 	start, end := pkt.Seq, pkt.Seq+int64(pkt.PayloadLen)
 	r.cfg.Pool.Put(pkt)
 
+	oldNxt := r.rcvNxt
 	switch {
 	case end <= r.rcvNxt:
 		r.stats.Duplicates++
@@ -77,6 +78,11 @@ func (r *Receiver) HandleData(pkt *packet.Packet) {
 		r.stats.BytesDelivered += end - r.rcvNxt
 		r.rcvNxt = end
 		r.drainOOO()
+	}
+	if r.rcvNxt > oldNxt {
+		if o := r.cfg.Pool.Obs(); o != nil {
+			o.StreamDeliver(r.flow, oldNxt, r.rcvNxt)
+		}
 	}
 	r.sendAck(ce)
 }

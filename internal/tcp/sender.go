@@ -286,6 +286,9 @@ func (s *Sender) emit(seq int64, segLen int, isRexmit bool) {
 		s.rttValid = true
 	}
 	s.lastSendTime = s.sim.Now()
+	if o := s.cfg.Pool.Obs(); o != nil {
+		o.StreamSent(s.flow, seq, seq+int64(segLen), isRexmit)
+	}
 	s.Output(p)
 }
 

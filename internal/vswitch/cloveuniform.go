@@ -1,0 +1,54 @@
+package vswitch
+
+import (
+	"clove/internal/packet"
+	"clove/internal/sim"
+)
+
+// CloveUniform is a reference policy for differential testing, not a paper
+// scheme: plain round-robin over discovered paths in discovery order, with
+// no congestion adaptation. It is the closed-form answer to "what must
+// Clove-ECN with frozen uniform weights do?" — smooth WRR over equal
+// weights visits the table in order, so a frozen Clove-ECN run and a
+// CloveUniform run must be byte-for-byte identical. Any divergence means
+// the weighted machinery itself (not the weights) perturbed path choice.
+type CloveUniform struct {
+	ports map[packet.HostID][]uint16
+	next  map[packet.HostID]int
+}
+
+// NewCloveUniform returns the uniform round-robin reference policy.
+func NewCloveUniform() *CloveUniform {
+	return &CloveUniform{
+		ports: map[packet.HostID][]uint16{},
+		next:  map[packet.HostID]int{},
+	}
+}
+
+// Name implements PathPolicy.
+func (*CloveUniform) Name() string { return "clove-uniform" }
+
+// PickPort implements PathPolicy: rotate through discovered paths; before
+// discovery completes, degrade to Edge-Flowlet hashing exactly like
+// Clove-ECN does.
+func (c *CloveUniform) PickPort(dst packet.HostID, flow packet.FiveTuple, flowletID uint32) uint16 {
+	ps := c.ports[dst]
+	if len(ps) == 0 {
+		return portHash(flow, flowletID+1)
+	}
+	port := ps[c.next[dst]]
+	c.next[dst] = (c.next[dst] + 1) % len(ps)
+	return port
+}
+
+// OnFeedback implements PathPolicy (ignored: congestion-oblivious).
+func (*CloveUniform) OnFeedback(packet.HostID, packet.Feedback, sim.Time) {}
+
+// SetPaths implements PathPolicy.
+func (c *CloveUniform) SetPaths(dst packet.HostID, ports []uint16) {
+	c.ports[dst] = append([]uint16(nil), ports...)
+	c.next[dst] = 0
+}
+
+// AllCongested implements PathPolicy.
+func (*CloveUniform) AllCongested(packet.HostID, sim.Time) bool { return false }

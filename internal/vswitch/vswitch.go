@@ -240,6 +240,9 @@ func (v *VSwitch) FromVM(pkt *packet.Packet) {
 			*entryPort = v.policy.PickPort(dstHyp, pkt.Inner, flowletID)
 		}
 		port = *entryPort
+		if o := v.pool.Obs(); o != nil {
+			o.FlowletPick(pkt.Inner, flowletID, port)
+		}
 	}
 
 	e := v.pool.GetEncap()

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzEmpiricalCDF feeds NewEmpiricalCDF both arbitrary anchor points (the
+// validator must reject or fully tame them — never panic, never accept a
+// non-monotone or non-finite CDF) and normalized always-valid point sets
+// derived from the same bytes (the constructor must accept them, and
+// sampling must respect the quantile bounds: every draw lands in
+// [1, max anchor], the mean is finite and positive, and Scaled copies stay
+// valid). CI runs this alongside the wire-codec fuzz targets.
+func FuzzEmpiricalCDF(f *testing.F) {
+	// Seeds: encodings of the two shipped distributions plus edge shapes.
+	f.Add(encodePoints(WebSearch().points))
+	f.Add(encodePoints(DataMining().points))
+	f.Add(encodePoints([]CDFPoint{{1, 0.5}, {1, 1}}))    // flat, tiny
+	f.Add(encodePoints([]CDFPoint{{0.25, 0.5}, {2, 1}})) // sub-byte anchor
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		checkRaw(t, b)
+		checkNormalized(t, b)
+	})
+}
+
+// encodePoints serializes anchors as little-endian float64 pairs.
+func encodePoints(pts []CDFPoint) []byte {
+	out := make([]byte, 0, len(pts)*16)
+	for _, p := range pts {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.Bytes))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.Prob))
+	}
+	return out
+}
+
+// checkRaw decodes the bytes as raw float pairs; the validator sees
+// arbitrary values (NaN, infinities, non-monotone runs) and must reject
+// anything that would break sampling.
+func checkRaw(t *testing.T, b []byte) {
+	var pts []CDFPoint
+	for len(b) >= 16 {
+		pts = append(pts, CDFPoint{
+			Bytes: math.Float64frombits(binary.LittleEndian.Uint64(b)),
+			Prob:  math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+		})
+		b = b[16:]
+	}
+	c, err := NewEmpiricalCDF("fuzz-raw", pts)
+	if err != nil {
+		return
+	}
+	// Accepted: the validator vouched for monotone, finite, (0,1]-bounded
+	// anchors ending at exactly 1. Verify it did not lie.
+	for i, p := range pts {
+		if !(p.Bytes > 0) || math.IsInf(p.Bytes, 1) || !(p.Prob > 0) || p.Prob > 1 {
+			t.Fatalf("validator accepted out-of-range point %d: %+v", i, p)
+		}
+		if i > 0 && (p.Prob <= pts[i-1].Prob || p.Bytes < pts[i-1].Bytes) {
+			t.Fatalf("validator accepted non-monotone point %d: %+v after %+v", i, p, pts[i-1])
+		}
+	}
+	checkQuantiles(t, c, pts)
+}
+
+// checkNormalized turns the same bytes into an always-valid CDF (positive
+// strictly-increasing probabilities rescaled to end at exactly 1,
+// non-decreasing positive sizes) that the constructor must accept.
+func checkNormalized(t *testing.T, b []byte) {
+	n := len(b) / 6
+	if n < 2 {
+		return
+	}
+	cum := make([]float64, n)
+	bytesAt := make([]float64, n)
+	total := 0.0
+	size := 0.0
+	for i := 0; i < n; i++ {
+		chunk := b[i*6 : i*6+6]
+		// Probability deltas in [1, 1024]; sizes accumulate in [0.5, ~1e9].
+		total += float64(binary.LittleEndian.Uint16(chunk)%1024) + 1
+		cum[i] = total
+		size += float64(binary.LittleEndian.Uint32(chunk[2:]) % 1_000_000)
+		bytesAt[i] = size + 0.5
+	}
+	pts := make([]CDFPoint, n)
+	for i := range pts {
+		pts[i] = CDFPoint{Bytes: bytesAt[i], Prob: cum[i] / total}
+	}
+	pts[n-1].Prob = 1 // cum[n-1]/total is 1.0 exactly, but be explicit
+	c, err := NewEmpiricalCDF("fuzz-normalized", pts)
+	if err != nil {
+		t.Fatalf("constructor rejected a valid normalized CDF: %v\npoints: %+v", err, pts)
+	}
+	checkQuantiles(t, c, pts)
+
+	for _, factor := range []float64{0.5, 1e-7, 3} {
+		sc := c.Scaled(factor) // must not panic: scaling preserves validity
+		if got := len(sc.points); got != n {
+			t.Fatalf("Scaled(%v) has %d points, want %d", factor, got, n)
+		}
+	}
+}
+
+// checkQuantiles drives sampling and the mean estimate over an accepted CDF
+// and asserts the inverse-transform bounds.
+func checkQuantiles(t *testing.T, c *EmpiricalCDF, pts []CDFPoint) {
+	maxBytes := pts[len(pts)-1].Bytes
+	// Interpolation below the first anchor starts at 1 byte, so the upper
+	// bound is max(1, last anchor); +1 absorbs the int64 truncation edge.
+	upper := int64(math.Max(1, maxBytes)) + 1
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 64; i++ {
+		s := c.Sample(rng)
+		if s < 1 || s > upper {
+			t.Fatalf("sample %d out of [1, %d] (max anchor %v)", s, upper, maxBytes)
+		}
+	}
+	mean := c.Mean()
+	if math.IsNaN(mean) || math.IsInf(mean, 0) || mean <= 0 {
+		t.Fatalf("mean %v not finite-positive", mean)
+	}
+	if mean > math.Max(1, maxBytes)*1.0001 {
+		t.Fatalf("mean %v exceeds max anchor %v", mean, maxBytes)
+	}
+}

@@ -34,7 +34,9 @@ func NewEmpiricalCDF(name string, points []CDFPoint) (*EmpiricalCDF, error) {
 		return nil, fmt.Errorf("workload: CDF %q needs >= 2 points", name)
 	}
 	for i, p := range points {
-		if p.Bytes <= 0 || p.Prob <= 0 || p.Prob > 1 {
+		// The positive form (rather than `<= 0`) also rejects NaN, which
+		// fails every ordered comparison and would otherwise slip through.
+		if !(p.Bytes > 0) || math.IsInf(p.Bytes, 1) || !(p.Prob > 0) || p.Prob > 1 {
 			return nil, fmt.Errorf("workload: CDF %q point %d out of range: %+v", name, i, p)
 		}
 		if i > 0 && (p.Prob <= points[i-1].Prob || p.Bytes < points[i-1].Bytes) {
@@ -97,24 +99,40 @@ func DataMining() *EmpiricalCDF {
 // Name returns the distribution's name.
 func (c *EmpiricalCDF) Name() string { return c.name }
 
-// Sample draws one flow size in bytes.
+// maxFlowSize caps sampled flow sizes: converting a float beyond int64
+// range is implementation-specific in Go, so the clamp keeps Sample total
+// even for pathological (huge-anchor) distributions.
+const maxFlowSize = int64(1) << 62
+
+// toSize converts an interpolated size to a positive flow size in bytes.
+func toSize(v float64) int64 {
+	if !(v > 1) { // also catches NaN from degenerate interpolation
+		return 1
+	}
+	if v > float64(maxFlowSize) {
+		return maxFlowSize
+	}
+	return int64(v)
+}
+
+// Sample draws one flow size in bytes, always in [1, maxFlowSize].
 func (c *EmpiricalCDF) Sample(rng *rand.Rand) int64 {
 	u := rng.Float64()
 	pts := c.points
 	if u <= pts[0].Prob {
 		// Below the first anchor: interpolate from 1 byte.
 		frac := u / pts[0].Prob
-		return int64(math.Max(1, math.Exp(math.Log(1)+(math.Log(pts[0].Bytes))*frac)))
+		return toSize(math.Exp(math.Log(pts[0].Bytes) * frac))
 	}
 	for i := 1; i < len(pts); i++ {
 		if u <= pts[i].Prob {
 			lo, hi := pts[i-1], pts[i]
 			frac := (u - lo.Prob) / (hi.Prob - lo.Prob)
 			logSize := math.Log(lo.Bytes) + (math.Log(hi.Bytes)-math.Log(lo.Bytes))*frac
-			return int64(math.Exp(logSize))
+			return toSize(math.Exp(logSize))
 		}
 	}
-	return int64(pts[len(pts)-1].Bytes)
+	return toSize(pts[len(pts)-1].Bytes)
 }
 
 // Mean estimates the distribution mean by numeric integration over the
