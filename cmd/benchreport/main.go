@@ -1,0 +1,268 @@
+// Command benchreport runs the repository's hot-path and figure benchmarks
+// in-process via testing.Benchmark, emits a machine-readable JSON baseline
+// (BENCH_<n>.json), and optionally compares a fresh run against a committed
+// baseline with a benchstat-style relative-mean gate.
+//
+// Two modes:
+//
+//	benchreport -out BENCH_4.json              # record a baseline
+//	benchreport -baseline BENCH_4.json         # gate: exit 1 on >10% ns/op
+//	                                           # regression of any gated bench
+//
+// Each benchmark is sampled -count times (default 3) and the mean ns/op is
+// what the gate compares, damping single-sample scheduler noise the same way
+// benchstat's mean-delta column does. Baselines are machine-specific: a
+// committed baseline gates CI runners against each other, and local runs
+// against a locally recorded file, not laptops against CI.
+//
+// Hot-path benches additionally hard-fail (regardless of -baseline) if they
+// allocate: per-forwarded-hop and per-event allocations must be exactly 0.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"clove/internal/experiments"
+	"clove/internal/netem"
+	"clove/internal/packet"
+	"clove/internal/sim"
+)
+
+// Report is the BENCH_<n>.json schema.
+type Report struct {
+	Schema  int                     `json:"schema"`
+	Go      string                  `json:"go"`
+	Note    string                  `json:"note"`
+	Benches map[string]*BenchResult `json:"benches"`
+}
+
+// BenchResult records one benchmark's samples and their mean.
+type BenchResult struct {
+	NsPerOp     float64   `json:"ns_per_op"` // mean across samples
+	NsPerEvent  float64   `json:"ns_per_event,omitempty"`
+	AllocsPerOp int64     `json:"allocs_per_op"`
+	BytesPerOp  int64     `json:"bytes_per_op"`
+	Samples     []float64 `json:"samples_ns_per_op"`
+}
+
+// benchSpec declares one benchmark: its body, how many simulator events one
+// op corresponds to (0 = not meaningful), whether the zero-alloc contract
+// applies, and whether the regression gate covers it.
+type benchSpec struct {
+	name            string
+	run             func(b *testing.B)
+	eventsPerOp     float64
+	mustBeZeroAlloc bool
+	gated           bool
+}
+
+// --- HotPathEventChain: the sim package's pooled scheduling path ---
+
+type chainState struct {
+	s    *sim.Simulator
+	left int
+}
+
+func chainStep(a, _ any) {
+	st := a.(*chainState)
+	st.left--
+	if st.left > 0 {
+		st.s.AfterCall(sim.Microsecond, chainStep, st, nil)
+	}
+}
+
+func runChain(s *sim.Simulator, st *chainState, n int) {
+	st.left = n
+	s.AfterCall(0, chainStep, st, nil)
+	s.Run()
+}
+
+func benchEventChain(b *testing.B) {
+	s := sim.New(1)
+	st := &chainState{s: s}
+	runChain(s, st, 100) // warm slab, heap, free list
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runChain(s, st, 100)
+	}
+}
+
+// --- HotPathLinkSwitchLink: one forwarded packet hop through the fabric ---
+
+func hotPathFabric() (*sim.Simulator, *netem.Topology, *netem.Host) {
+	s := sim.New(1)
+	t := netem.NewTopology(s)
+	sw := t.AddSwitch("S")
+	cfg := netem.LinkConfig{RateBps: 40e9, Delay: 2 * sim.Microsecond}
+	src := t.AddHost("h0", sw, cfg, cfg)
+	t.AddHost("h1", sw, cfg, cfg)
+	t.ComputeRoutes()
+	return s, t, src
+}
+
+func sendOne(s *sim.Simulator, t *netem.Topology, src *netem.Host) {
+	pkt := t.Pool().Get()
+	pkt.Kind = packet.KindData
+	pkt.Inner = packet.FiveTuple{Src: 0, Dst: 1, SrcPort: 40000, DstPort: 80, Proto: packet.ProtoTCP}
+	pkt.PayloadLen = 1460
+	src.Send(pkt)
+	s.Run()
+}
+
+func benchLinkSwitchLink(b *testing.B) {
+	s, topo, src := hotPathFabric()
+	sendOne(s, topo, src)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sendOne(s, topo, src)
+	}
+}
+
+// --- Fig6Quick: the parameter-sensitivity figure at quick scale ---
+
+func benchFig6(b *testing.B) {
+	sc := experiments.Quick()
+	sc.Loads = []float64{0.7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6(sc, nil)
+	}
+}
+
+func specs() []benchSpec {
+	return []benchSpec{
+		// One op = a 100-event AfterCall chain; 4 events per forwarded hop
+		// (2 serializations + 2 propagations) on the link-switch-link path.
+		{name: "HotPathEventChain", run: benchEventChain, eventsPerOp: 100, mustBeZeroAlloc: true, gated: true},
+		{name: "HotPathLinkSwitchLink", run: benchLinkSwitchLink, eventsPerOp: 4, mustBeZeroAlloc: true, gated: true},
+		{name: "Fig6Quick", run: benchFig6, gated: true},
+	}
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON report to this file (default: stdout)")
+	baseline := flag.String("baseline", "", "compare against this baseline file and exit 1 on regression")
+	threshold := flag.Float64("threshold", 0.10, "relative mean-ns/op regression gate (0.10 = +10%)")
+	count := flag.Int("count", 3, "samples per benchmark")
+	flag.Parse()
+
+	rep := &Report{
+		Schema:  1,
+		Go:      runtime.Version(),
+		Note:    "means of samples_ns_per_op; recorded by cmd/benchreport on a single machine — compare like against like",
+		Benches: map[string]*BenchResult{},
+	}
+
+	failed := false
+	for _, spec := range specs() {
+		res := &BenchResult{}
+		for i := 0; i < *count; i++ {
+			r := testing.Benchmark(spec.run)
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			res.Samples = append(res.Samples, ns)
+			res.AllocsPerOp = r.AllocsPerOp()
+			res.BytesPerOp = r.AllocedBytesPerOp()
+		}
+		var sum float64
+		for _, s := range res.Samples {
+			sum += s
+		}
+		res.NsPerOp = sum / float64(len(res.Samples))
+		if spec.eventsPerOp > 0 {
+			res.NsPerEvent = res.NsPerOp / spec.eventsPerOp
+		}
+		rep.Benches[spec.name] = res
+		fmt.Fprintf(os.Stderr, "%-24s %12.1f ns/op  %8d allocs/op", spec.name, res.NsPerOp, res.AllocsPerOp)
+		if res.NsPerEvent > 0 {
+			fmt.Fprintf(os.Stderr, "  %8.1f ns/event", res.NsPerEvent)
+		}
+		fmt.Fprintln(os.Stderr)
+		if spec.mustBeZeroAlloc && res.AllocsPerOp != 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: %s allocates %d allocs/op, contract is exactly 0\n", spec.name, res.AllocsPerOp)
+			failed = true
+		}
+	}
+
+	if *baseline != "" {
+		base, err := readReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: read baseline: %v\n", err)
+			os.Exit(2)
+		}
+		if compare(base, rep, *threshold) {
+			failed = true
+		}
+	}
+
+	if err := writeReport(rep, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func writeReport(rep *Report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// compare prints a benchstat-style old/new/delta table for every gated
+// bench present in both reports and reports whether any regressed past the
+// threshold. Improvements and in-tolerance drift pass.
+func compare(base, cur *Report, threshold float64) (regressed bool) {
+	fmt.Fprintf(os.Stderr, "\n%-24s %14s %14s %8s\n", "name", "old ns/op", "new ns/op", "delta")
+	for _, spec := range specs() {
+		if !spec.gated {
+			continue
+		}
+		b, okB := base.Benches[spec.name]
+		c, okC := cur.Benches[spec.name]
+		if !okB || !okC {
+			fmt.Fprintf(os.Stderr, "%-24s missing from %s\n", spec.name,
+				map[bool]string{true: "current run", false: "baseline"}[okB])
+			continue
+		}
+		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		verdict := ""
+		if delta > threshold {
+			verdict = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(os.Stderr, "%-24s %14.1f %14.1f %+7.1f%%%s\n",
+			spec.name, b.NsPerOp, c.NsPerOp, delta*100, verdict)
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "\nFAIL: mean ns/op regressed more than %.0f%% on a gated bench\n", threshold*100)
+	}
+	return regressed
+}

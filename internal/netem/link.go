@@ -45,7 +45,14 @@ type Link struct {
 	queueCap int // packets
 	ecnK     int // mark when queued packets >= ecnK at enqueue; 0 disables
 
+	// queue is a fixed-capacity ring buffer (len(queue) == queueCap): qhead
+	// is the oldest packet, qlen the occupancy, and slots wrap modulo the
+	// capacity. A ring makes dequeue O(1) — the previous slice-shift form
+	// paid an O(occupancy) copy() per transmitted packet, which dominated
+	// link cost on deep host qdiscs (HostQdiscCap = 1024).
 	queue   []*packet.Packet
+	qhead   int
+	qlen    int
 	sending *packet.Packet // the packet occupying the serializer, if any
 	busy    bool
 	up      bool
@@ -82,8 +89,8 @@ func newLink(s *sim.Simulator, pool *packet.Pool, id packet.LinkID, name string,
 		queueCap: cfg.QueueCap,
 		ecnK:     cfg.ECNK,
 		up:       true,
-		// Sized to capacity up front so steady-state enqueues never regrow.
-		queue: make([]*packet.Packet, 0, cfg.QueueCap),
+		// The ring is allocated at full capacity up front; it never grows.
+		queue: make([]*packet.Packet, cfg.QueueCap),
 	}
 	l.dre = NewDRE(s, cfg.RateBps)
 	return l
@@ -112,7 +119,7 @@ func (l *Link) Up() bool { return l.up }
 
 // QueueLen returns the instantaneous number of queued packets (not counting
 // the one currently serializing).
-func (l *Link) QueueLen() int { return len(l.queue) }
+func (l *Link) QueueLen() int { return l.qlen }
 
 // Stats returns a snapshot of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
@@ -135,15 +142,21 @@ func (l *Link) SetUp(up bool) {
 		o.LinkSetUp(l.id, up)
 	}
 	if !up {
-		l.stats.DownDrops += int64(len(l.queue))
-		for i, pkt := range l.queue {
+		n := l.qlen
+		l.stats.DownDrops += int64(n)
+		for i := 0; i < n; i++ {
+			idx := l.qhead + i
+			if idx >= l.queueCap {
+				idx -= l.queueCap
+			}
+			pkt := l.queue[idx]
+			l.queue[idx] = nil
 			if o := l.pool.Obs(); o != nil {
-				o.LinkDrop(l.id, pkt, packet.DropLinkDown, len(l.queue), l.queueCap)
+				o.LinkDrop(l.id, pkt, packet.DropLinkDown, n, l.queueCap)
 			}
 			l.pool.Put(pkt)
-			l.queue[i] = nil
 		}
-		l.queue = l.queue[:0]
+		l.qhead, l.qlen = 0, 0
 		// The packet currently serializing (if any) is lost too; the busy
 		// flag is cleared when its tx timer fires and finds the link down.
 	}
@@ -155,7 +168,7 @@ func (l *Link) Enqueue(pkt *packet.Packet) {
 	if !l.up {
 		l.stats.DownDrops++
 		if o := l.pool.Obs(); o != nil {
-			o.LinkDrop(l.id, pkt, packet.DropLinkDown, len(l.queue), l.queueCap)
+			o.LinkDrop(l.id, pkt, packet.DropLinkDown, l.qlen, l.queueCap)
 		}
 		if l.onDrop != nil {
 			l.onDrop(pkt)
@@ -163,10 +176,10 @@ func (l *Link) Enqueue(pkt *packet.Packet) {
 		l.pool.Put(pkt)
 		return
 	}
-	if len(l.queue) >= l.queueCap {
+	if l.qlen >= l.queueCap {
 		l.stats.Drops++
 		if o := l.pool.Obs(); o != nil {
-			o.LinkDrop(l.id, pkt, packet.DropQueueFull, len(l.queue), l.queueCap)
+			o.LinkDrop(l.id, pkt, packet.DropQueueFull, l.qlen, l.queueCap)
 		}
 		if l.onDrop != nil {
 			l.onDrop(pkt)
@@ -175,16 +188,21 @@ func (l *Link) Enqueue(pkt *packet.Packet) {
 		return
 	}
 	marked := false
-	if l.ecnK > 0 && len(l.queue) >= l.ecnK {
+	if l.ecnK > 0 && l.qlen >= l.ecnK {
 		if pkt.MarkCE() {
 			l.stats.ECNMarks++
 			marked = true
 		}
 	}
 	if o := l.pool.Obs(); o != nil {
-		o.LinkEnqueue(l.id, pkt, len(l.queue), l.queueCap, l.ecnK, marked)
+		o.LinkEnqueue(l.id, pkt, l.qlen, l.queueCap, l.ecnK, marked)
 	}
-	l.queue = append(l.queue, pkt)
+	idx := l.qhead + l.qlen
+	if idx >= l.queueCap {
+		idx -= l.queueCap
+	}
+	l.queue[idx] = pkt
+	l.qlen++
 	if !l.busy {
 		l.transmitNext()
 	}
@@ -208,21 +226,23 @@ func linkPropagate(a, b any) {
 	}
 	l.stats.DownDrops++
 	if o := l.pool.Obs(); o != nil {
-		o.LinkDrop(l.id, pkt, packet.DropLinkDown, len(l.queue), l.queueCap)
+		o.LinkDrop(l.id, pkt, packet.DropLinkDown, l.qlen, l.queueCap)
 	}
 	l.pool.Put(pkt)
 }
 
 func (l *Link) transmitNext() {
-	if len(l.queue) == 0 || !l.up {
+	if l.qlen == 0 || !l.up {
 		l.busy = false
 		return
 	}
-	pkt := l.queue[0]
-	// Shift rather than re-slice forever; the queue is short (<= queueCap).
-	copy(l.queue, l.queue[1:])
-	l.queue[len(l.queue)-1] = nil
-	l.queue = l.queue[:len(l.queue)-1]
+	pkt := l.queue[l.qhead]
+	l.queue[l.qhead] = nil
+	l.qhead++
+	if l.qhead == l.queueCap {
+		l.qhead = 0
+	}
+	l.qlen--
 
 	l.busy = true
 	size := pkt.Size()
@@ -253,7 +273,7 @@ func (l *Link) txDone() {
 	} else {
 		l.stats.DownDrops++
 		if o := l.pool.Obs(); o != nil {
-			o.LinkDrop(l.id, pkt, packet.DropLinkDown, len(l.queue), l.queueCap)
+			o.LinkDrop(l.id, pkt, packet.DropLinkDown, l.qlen, l.queueCap)
 		}
 		l.pool.Put(pkt)
 	}

@@ -40,8 +40,9 @@ type Switch struct {
 	seed uint64
 	topo *Topology
 
-	egress []*Link                   // all egress links, for enumeration
-	routes map[packet.HostID][]*Link // ECMP next-hops per destination host
+	egress       []*Link // all egress links, kept sorted by ID once finalized
+	egressSorted bool
+	routes       map[packet.HostID][]*Link // ECMP next-hops per destination host
 
 	lb    SwitchLB
 	stats SwitchStats
@@ -60,29 +61,49 @@ func (s *Switch) SetLB(lb SwitchLB) { s.lb = lb }
 func (s *Switch) Stats() SwitchStats { return s.stats }
 
 // Egress returns all egress links, sorted by ID.
-func (s *Switch) Egress() []*Link { return s.egress }
+func (s *Switch) Egress() []*Link {
+	s.sortEgress()
+	return s.egress
+}
 
 // NextHops returns the current ECMP candidate set toward dst (nil if
 // unreachable). The returned slice must not be modified.
 func (s *Switch) NextHops(dst packet.HostID) []*Link { return s.routes[dst] }
 
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnvMix folds the 8 bytes of v into h, least-significant byte first — the
+// FNV-1a byte loop, unrolled. This must stay bit-identical to
+//
+//	for i := 0; i < 8; i++ { h ^= (v >> (8 * i)) & 0xff; h *= prime }
+//
+// (the closure body it replaced): every discovered path set and therefore
+// every golden figure depends on these exact hash values.
+// TestHashTupleVectors pins recorded outputs against drift.
+func fnvMix(h, v uint64) uint64 {
+	h = (h ^ (v & 0xff)) * fnvPrime
+	h = (h ^ (v >> 8 & 0xff)) * fnvPrime
+	h = (h ^ (v >> 16 & 0xff)) * fnvPrime
+	h = (h ^ (v >> 24 & 0xff)) * fnvPrime
+	h = (h ^ (v >> 32 & 0xff)) * fnvPrime
+	h = (h ^ (v >> 40 & 0xff)) * fnvPrime
+	h = (h ^ (v >> 48 & 0xff)) * fnvPrime
+	h = (h ^ (v >> 56)) * fnvPrime
+	return h
+}
+
 // hashTuple implements the ECMP hash: FNV-1a over the 5-tuple, salted.
+// The unrolled, closure-free body keeps the per-packet routing decision
+// free of the capture-and-loop overhead the original closure paid.
 func hashTuple(seed uint64, t packet.FiveTuple) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := offset ^ seed
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= (v >> (8 * i)) & 0xff
-			h *= prime
-		}
-	}
-	mix(uint64(uint32(t.Src)))
-	mix(uint64(uint32(t.Dst)))
-	mix(uint64(t.SrcPort)<<16 | uint64(t.DstPort))
-	mix(uint64(t.Proto))
+	h := fnvOffset ^ seed
+	h = fnvMix(h, uint64(uint32(t.Src)))
+	h = fnvMix(h, uint64(uint32(t.Dst)))
+	h = fnvMix(h, uint64(t.SrcPort)<<16|uint64(t.DstPort))
+	h = fnvMix(h, uint64(t.Proto))
 	// Avalanche finalizer (Murmur3-style). Without it, the per-switch seed
 	// only offsets the FNV state, and the offset propagates almost
 	// additively — two switches' hashes then differ by a near-constant, so
@@ -210,9 +231,26 @@ func (s *Switch) answerProbe(probe *packet.Packet) {
 	s.ecmpPick(echo, cands).Enqueue(echo)
 }
 
+// addEgress registers a new egress link. Insertion just appends and marks
+// the slice dirty; sortEgress sorts once when the set is first consumed
+// (route computation or the Egress accessor). Sorting on every insertion
+// made topology build O(n²·log n) in the per-switch port count, which
+// dominated setup on large fat-trees.
 func (s *Switch) addEgress(l *Link) {
 	s.egress = append(s.egress, l)
+	s.egressSorted = false
+}
+
+// sortEgress finalizes the egress set into ID order. Link IDs are unique,
+// so the order is total and identical to what per-insertion sorting
+// produced — ECMP candidate order (and hence every golden figure) does not
+// depend on when the sort happens.
+func (s *Switch) sortEgress() {
+	if s.egressSorted {
+		return
+	}
 	sort.Slice(s.egress, func(i, j int) bool { return s.egress[i].ID() < s.egress[j].ID() })
+	s.egressSorted = true
 }
 
 // String implements fmt.Stringer.

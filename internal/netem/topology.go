@@ -148,6 +148,7 @@ func (t *Topology) ComputeRoutes() {
 	nodeOf := map[packet.NodeID]Node{}
 	for _, sw := range t.switches {
 		nodeOf[sw.id] = sw
+		sw.sortEgress() // finalize build-time insertions before use
 		for _, l := range sw.egress {
 			if !l.Up() {
 				continue

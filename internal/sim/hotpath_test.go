@@ -87,21 +87,31 @@ func TestMillionOneShotEventsRecycle(t *testing.T) {
 	if free := s.FreeEvents(); free > 4 {
 		t.Errorf("FreeEvents() = %d after chained run, want a handful (peak pending was 1)", free)
 	}
-	for i, ev := range s.free {
+	if len(s.slab) > 4 {
+		t.Errorf("slab grew to %d slots on a chained run, want a handful (peak pending was 1)", len(s.slab))
+	}
+	for i, slot := range s.free {
+		ev := &s.slab[slot]
 		if ev.fn != nil || ev.call != nil || ev.a != nil || ev.b != nil {
-			t.Fatalf("free[%d] not cleared: fn-set=%t call-set=%t a=%v b=%v",
-				i, ev.fn != nil, ev.call != nil, ev.a, ev.b)
+			t.Fatalf("free[%d] (slot %d) not cleared: fn-set=%t call-set=%t a=%v b=%v",
+				i, slot, ev.fn != nil, ev.call != nil, ev.a, ev.b)
+		}
+		if ev.heapIdx >= 0 {
+			t.Fatalf("free[%d] (slot %d) still claims heap position %d", i, slot, ev.heapIdx)
 		}
 	}
 }
 
 // TestBurstFreeListBounded schedules a large burst up front (peak pending =
-// burst size) and checks the free list respects its cap afterwards.
+// burst size) and checks the drained simulator sheds the surplus slab
+// memory instead of pinning it for the rest of the run — and that stale IDs
+// into the discarded region, and fresh scheduling afterwards, stay correct.
 func TestBurstFreeListBounded(t *testing.T) {
 	s := New(1)
 	const burst = maxEventFree * 2
+	var lastID EventID
 	for i := 0; i < burst; i++ {
-		s.AtCall(Time(i), noopCall, nil, nil)
+		lastID = s.AtCall(Time(i), noopCall, nil, nil)
 	}
 	s.Run()
 	if got := s.Pending(); got != 0 {
@@ -109,6 +119,86 @@ func TestBurstFreeListBounded(t *testing.T) {
 	}
 	if free := s.FreeEvents(); free > maxEventFree {
 		t.Errorf("FreeEvents() = %d, exceeds cap %d", free, maxEventFree)
+	}
+	if got := len(s.slab); got > maxEventFree {
+		t.Errorf("slab holds %d slots after drain, exceeds cap %d", got, maxEventFree)
+	}
+	// A stale ID referring to a slot beyond the shrunk slab is a no-op.
+	if s.Cancel(lastID) {
+		t.Error("stale ID into the discarded slab region cancelled something")
+	}
+	// The shrunk simulator schedules and fires normally.
+	ran := 0
+	s.AtCall(s.Now()+1, func(a, _ any) { *(a.(*int))++ }, &ran, nil)
+	s.Run()
+	if ran != 1 {
+		t.Errorf("post-shrink event ran %d times, want 1", ran)
+	}
+}
+
+// TestTickerZeroAllocsPerTick pins the periodic-timer guarantee: once a
+// ticker is created (one state struct + one cancel closure), every tick —
+// fire, callback, reschedule — is allocation-free. The pre-slab Ticker
+// allocated a fresh closure chain per tick, which showed up as steady churn
+// under periodic DRE relays and probe rounds.
+func TestTickerZeroAllocsPerTick(t *testing.T) {
+	s := New(1)
+	ticks := 0
+	cancel := s.Ticker(Microsecond, func() { ticks++ })
+	defer cancel()
+	s.RunUntil(s.Now() + 10*Microsecond) // warm slab, heap, free list
+
+	allocs := testing.AllocsPerRun(50, func() {
+		s.RunUntil(s.Now() + 100*Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("allocs per 100-tick window = %v, want 0", allocs)
+	}
+	if ticks < 100 {
+		t.Fatalf("ticker fired %d times, want >= 100", ticks)
+	}
+}
+
+// TestTickerCancelSemantics pins the cancellation contract the network model
+// relies on: cancelling inside the callback stops future ticks immediately
+// (no reschedule happens), while cancelling between ticks leaves the
+// already-scheduled next event to fire once as a no-op rather than removing
+// it — exactly the pre-slab closure ticker's behavior, so event sequence
+// numbering is unchanged by the reimplementation.
+func TestTickerCancelSemantics(t *testing.T) {
+	// Cancel between ticks: the next event stays queued and no-ops.
+	s := New(1)
+	ticks := 0
+	cancel := s.Ticker(10, func() { ticks++ })
+	s.RunUntil(35) // ticks at 10, 20, 30; tick 4 pending at 40
+	cancel()
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d after cancel, want the one residual no-op", got)
+	}
+	s.RunUntil(1000)
+	if ticks != 3 {
+		t.Errorf("ticks = %d after cancel, want 3", ticks)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Errorf("Pending() = %d at end, want 0", got)
+	}
+
+	// Cancel inside the callback: no reschedule, queue drains at once.
+	s2 := New(1)
+	ticks2 := 0
+	var cancel2 func()
+	cancel2 = s2.Ticker(10, func() {
+		ticks2++
+		if ticks2 == 3 {
+			cancel2()
+		}
+	})
+	s2.RunUntil(1000)
+	if ticks2 != 3 {
+		t.Errorf("ticks2 = %d after in-callback cancel, want 3", ticks2)
+	}
+	if got := s2.Pending(); got != 0 {
+		t.Errorf("Pending() = %d after in-callback cancel, want 0", got)
 	}
 }
 
@@ -127,11 +217,11 @@ func TestCancelStaleIDAfterFire(t *testing.T) {
 		t.Error("Cancel succeeded on an already-fired event")
 	}
 
-	// The struct is now on the free list; the next schedule reuses it.
+	// The slot is now on the free list; the next schedule reuses it.
 	ran2 := 0
 	id2 := s.AtCall(20, func(a, _ any) { *(a.(*int))++ }, &ran2, nil)
-	if id2.ev != id.ev {
-		t.Fatalf("expected the recycled struct to be reused (free list size 1)")
+	if id2.slot != id.slot {
+		t.Fatalf("expected the recycled slot to be reused (free list size 1)")
 	}
 	if s.Cancel(id) {
 		t.Error("stale ID cancelled the struct's next incarnation")
@@ -156,11 +246,11 @@ func TestCancelStaleIDAfterCancel(t *testing.T) {
 
 	ran := 0
 	id2 := s.AtCall(20, func(a, _ any) { *(a.(*int))++ }, &ran, nil)
-	if id2.ev != id.ev {
-		t.Fatalf("expected struct reuse after cancel")
+	if id2.slot != id.slot {
+		t.Fatalf("expected slot reuse after cancel")
 	}
-	if id2.gen == id.gen {
-		t.Fatal("generation not bumped on recycle")
+	if id2.seq == id.seq {
+		t.Fatal("incarnation stamp not advanced on recycle")
 	}
 	if s.Cancel(id) {
 		t.Error("stale ID cancelled the recycled event")

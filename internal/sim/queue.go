@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // EventFunc is the closure-free callback form used on the simulator's hot
 // path. The two operands are supplied at scheduling time (AtCall/AfterCall)
 // and handed back verbatim when the event fires, so callers can bind a
@@ -10,70 +8,158 @@ import "container/heap"
 // while boxing most scalar values does.
 type EventFunc func(a, b any)
 
-// event is one scheduled callback. Fired and cancelled events are recycled
-// through the Simulator's free list; gen distinguishes incarnations so a
-// stale EventID can never cancel (or be confused with) the struct's next
-// tenant.
+// event is one scheduled callback. Events live in the Simulator's contiguous
+// slab ([]event); fired and cancelled slots are recycled through a free list
+// of slot indices. An event is identified across recycling by its seq — the
+// globally unique schedule number — so a stale EventID can never cancel (or
+// be confused with) the slot's next tenant.
 type event struct {
 	at  Time
-	seq uint64 // tie-breaker: FIFO among equal timestamps
-	fn  func() // cold path: closure form (At/After)
+	seq uint64 // tie-breaker: FIFO among equal timestamps; doubles as the
+	// incarnation stamp (globally unique per schedule, never reused)
+	fn func() // cold path: closure form (At/After)
 
 	// Hot path: closure-free form (AtCall/AfterCall). When call is non-nil
 	// it takes precedence over fn.
 	call EventFunc
 	a, b any
 
-	gen uint32 // incarnation counter, bumped on every recycle
-	// index within the heap, maintained by heap.Interface methods, so that
-	// cancellation can be O(log n). Negative once removed.
-	index int
+	// heapIdx is the slot's position in the Simulator's heap order array,
+	// maintained by the sift routines so that cancellation can be O(log n).
+	// Negative once fired or cancelled.
+	heapIdx int32
 }
 
 // EventID identifies a scheduled event so it can be cancelled. The zero
-// EventID is never issued. IDs are incarnation-stamped: once the event has
-// fired or been cancelled, the ID goes stale and Cancel on it is a no-op,
-// even if the underlying struct has been recycled for a new event.
+// EventID is never issued (slots are stamped +1). IDs carry the event's
+// schedule sequence number as an incarnation stamp: once the event has fired
+// or been cancelled, the ID goes stale and Cancel on it is a no-op, even if
+// the underlying slab slot has been recycled for a new event — seq values
+// are never reused, so a stale ID cannot collide with a later tenant even
+// across slab shrinks.
 type EventID struct {
-	ev  *event
-	gen uint32
+	slot int32  // slab index + 1; 0 marks the zero (never-issued) ID
+	seq  uint64 // incarnation stamp of the identified event
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
+// The event queue is a 4-ary implicit min-heap of int32 slot indices into
+// the slab, ordered by the slab entries' (at, seq). Compared to
+// container/heap over []*event this removes the heap.Interface virtual
+// calls, the per-comparison pointer chase to separately allocated events
+// (slab entries are contiguous, so neighboring slots share cache lines),
+// and — via the 4-ary fanout — half the tree depth, trading cheap in-line
+// comparisons for expensive level-to-level dependencies. Ordering is the
+// strict total order (at, seq), identical to the binary container/heap this
+// replaced, so pop order — and therefore every golden figure — is
+// byte-identical by construction.
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// heapLess orders slots by (at, seq). seq uniqueness makes the order strict.
+func (s *Simulator) heapLess(a, b int32) bool {
+	ea, eb := &s.slab[a], &s.slab[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
 	}
-	return h[i].seq < h[j].seq
+	return ea.seq < eb.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// heapPush appends slot and restores the heap property. Pushing onto an
+// empty heap — the steady state of serialized event chains, where exactly
+// one event is pending at a time — skips the sift-up call entirely.
+func (s *Simulator) heapPush(slot int32) {
+	i := len(s.heap)
+	s.heap = append(s.heap, slot)
+	if i == 0 {
+		s.slab[slot].heapIdx = 0
+		return
+	}
+	s.siftUp(i)
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+// heapPopRoot removes and returns the minimum slot. The caller must know the
+// heap is non-empty.
+func (s *Simulator) heapPopRoot() int32 {
+	h := s.heap
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	s.heap = h[:n]
+	if n > 0 {
+		s.heap[0] = last
+		s.siftDown(0)
+	}
+	return root
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// heapRemove deletes the slot at heap position i (cancellation).
+func (s *Simulator) heapRemove(i int) {
+	h := s.heap
+	n := len(h) - 1
+	last := h[n]
+	s.heap = h[:n]
+	if i < n {
+		s.heap[i] = last
+		if !s.siftDown(i) {
+			s.siftUp(i)
+		}
+	}
 }
 
-// remove deletes the event at index i.
-func (h *eventHeap) remove(i int) {
-	heap.Remove(h, i)
+// siftUp moves the slot at position i toward the root until its parent is
+// smaller. The hole-based formulation (hold the slot, slide parents down,
+// write once) does one slab store per level instead of a three-way swap.
+func (s *Simulator) siftUp(i int) {
+	h := s.heap
+	slot := h[i]
+	at, seq := s.slab[slot].at, s.slab[slot].seq
+	for i > 0 {
+		p := (i - 1) >> 2
+		ps := h[p]
+		pe := &s.slab[ps]
+		if pe.at < at || (pe.at == at && pe.seq < seq) {
+			break
+		}
+		h[i] = ps
+		pe.heapIdx = int32(i)
+		i = p
+	}
+	h[i] = slot
+	s.slab[slot].heapIdx = int32(i)
+}
+
+// siftDown moves the slot at position i toward the leaves until it is no
+// larger than its smallest child. It reports whether the slot moved, which
+// heapRemove uses to decide if a sift-up is needed instead.
+func (s *Simulator) siftDown(i int) bool {
+	h := s.heap
+	n := len(h)
+	slot := h[i]
+	at, seq := s.slab[slot].at, s.slab[slot].seq
+	i0 := i
+	for {
+		c := i<<2 + 1 // first of up to four children
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		me := &s.slab[h[c]]
+		for j := c + 1; j < end; j++ {
+			je := &s.slab[h[j]]
+			if je.at < me.at || (je.at == me.at && je.seq < me.seq) {
+				m, me = j, je
+			}
+		}
+		if at < me.at || (at == me.at && seq < me.seq) {
+			break
+		}
+		h[i] = h[m]
+		me.heapIdx = int32(i)
+		i = m
+	}
+	h[i] = slot
+	s.slab[slot].heapIdx = int32(i)
+	return i > i0
 }

@@ -1,15 +1,16 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
 
-// maxEventFree bounds the Simulator's event free list. Recycling beyond the
-// peak number of concurrently pending events buys nothing, and the cap keeps
-// a burst from pinning memory for the rest of the run; surplus events are
-// simply left to the garbage collector.
+// maxEventFree bounds how much event-slab memory a drained Simulator keeps.
+// Recycling beyond the peak number of concurrently pending events buys
+// nothing, and the cap keeps a burst from pinning memory for the rest of the
+// run: when the queue fully drains and the slab has grown past the cap, the
+// slab and free list are reallocated at the cap and the surplus is left to
+// the garbage collector.
 const maxEventFree = 1 << 15
 
 // Simulator is a single-threaded discrete-event scheduler. It owns the
@@ -20,14 +21,18 @@ const maxEventFree = 1 << 15
 //
 // Scheduling comes in two forms. At/After take a plain closure and are fine
 // for cold paths (setup, workload arrival chains, tickers). AtCall/AfterCall
-// take a static EventFunc plus two operands and do not allocate per event:
-// the event structs themselves are recycled through a free list as they fire
-// or are cancelled, so the per-packet event path of the network model runs
-// allocation-free.
+// take a static EventFunc plus two operands and do not allocate per event.
+//
+// Events live in one contiguous slab ([]event) and the pending queue is a
+// 4-ary implicit min-heap of slot indices (see queue.go) — no per-event
+// allocation, no pointer chasing on sift, no heap.Interface dispatch. Fired
+// and cancelled slots are recycled through a free list of indices, so the
+// per-packet event path of the network model runs allocation-free.
 type Simulator struct {
 	now    Time
-	queue  eventHeap
-	free   []*event
+	slab   []event // all event structs, addressed by slot index
+	heap   []int32 // pending events: 4-ary min-heap of slot indices
+	free   []int32 // recycled slot indices
 	nextID uint64
 	rng    *rand.Rand
 
@@ -57,50 +62,49 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 func (s *Simulator) Processed() uint64 { return s.processed }
 
 // Pending reports how many events are scheduled but not yet fired.
-func (s *Simulator) Pending() int { return len(s.queue) }
+func (s *Simulator) Pending() int { return len(s.heap) }
 
 // FreeEvents reports the current size of the event free list (telemetry and
-// leak tests; the list is bounded by maxEventFree).
+// leak tests; slab memory is bounded by maxEventFree once the queue drains).
 func (s *Simulator) FreeEvents() int { return len(s.free) }
 
-// getEvent takes a recycled event or allocates a fresh one. The returned
-// event keeps its gen (incarnations accumulate) but every payload field is
-// already cleared.
-func (s *Simulator) getEvent() *event {
+// getSlot takes a recycled slab slot or extends the slab by one. The
+// returned slot's payload fields are already cleared (putSlot clears them).
+func (s *Simulator) getSlot() int32 {
 	if n := len(s.free); n > 0 {
-		ev := s.free[n-1]
-		s.free[n-1] = nil
+		slot := s.free[n-1]
 		s.free = s.free[:n-1]
-		return ev
+		return slot
 	}
-	return &event{}
+	s.slab = append(s.slab, event{heapIdx: -1})
+	return int32(len(s.slab) - 1)
 }
 
-// putEvent recycles a fired or cancelled event. The gen bump invalidates
-// every outstanding EventID for this incarnation, and clearing fn/call/a/b
-// is what keeps the free list from pinning dead closures or packets across
-// the (arbitrarily long) wait until reuse.
-func (s *Simulator) putEvent(ev *event) {
-	ev.gen++
+// putSlot recycles a fired or cancelled event's slot. The slot's seq stays
+// — it is the stamp that invalidates every outstanding EventID for this
+// incarnation (the next tenant overwrites it with a fresh, never-reused
+// value) — and clearing fn/call/a/b is what keeps the slab from pinning
+// dead closures or packets across the (arbitrarily long) wait until reuse.
+func (s *Simulator) putSlot(slot int32) {
+	ev := &s.slab[slot]
 	ev.fn = nil
 	ev.call = nil
 	ev.a, ev.b = nil, nil
-	ev.index = -1
-	if len(s.free) < maxEventFree {
-		s.free = append(s.free, ev)
-	}
+	ev.heapIdx = -1
+	s.free = append(s.free, slot)
 }
 
-func (s *Simulator) schedule(at Time) *event {
+func (s *Simulator) schedule(at Time) (int32, uint64) {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
 	}
-	ev := s.getEvent()
+	slot := s.getSlot()
+	ev := &s.slab[slot]
 	ev.at = at
 	ev.seq = s.nextID
 	s.nextID++
-	heap.Push(&s.queue, ev)
-	return ev
+	s.heapPush(slot)
+	return slot, ev.seq
 }
 
 // At schedules fn to run at absolute time at. Scheduling in the past (before
@@ -108,9 +112,9 @@ func (s *Simulator) schedule(at Time) *event {
 //
 // The closure form allocates; use AtCall on per-packet paths.
 func (s *Simulator) At(at Time, fn func()) EventID {
-	ev := s.schedule(at)
-	ev.fn = fn
-	return EventID{ev: ev, gen: ev.gen}
+	slot, seq := s.schedule(at)
+	s.slab[slot].fn = fn
+	return EventID{slot: slot + 1, seq: seq}
 }
 
 // After schedules fn to run delay after the current time.
@@ -122,14 +126,15 @@ func (s *Simulator) After(delay Time, fn func()) EventID {
 }
 
 // AtCall schedules fn(a, b) at absolute time at without allocating: the
-// event struct comes from the free list and fn is a static function value
+// event slot comes from the free list and fn is a static function value
 // rather than a closure. Callers pass their receiver and payload through a
 // and b (pointers box into interfaces allocation-free).
 func (s *Simulator) AtCall(at Time, fn EventFunc, a, b any) EventID {
-	ev := s.schedule(at)
+	slot, seq := s.schedule(at)
+	ev := &s.slab[slot]
 	ev.call = fn
 	ev.a, ev.b = a, b
-	return EventID{ev: ev, gen: ev.gen}
+	return EventID{slot: slot + 1, seq: seq}
 }
 
 // AfterCall schedules fn(a, b) delay after the current time; the
@@ -143,28 +148,43 @@ func (s *Simulator) AfterCall(delay Time, fn EventFunc, a, b any) EventID {
 
 // Cancel removes a scheduled event. Cancelling an already-fired,
 // already-cancelled, or otherwise stale ID is a no-op and reports false;
-// generation stamps guarantee a stale ID can never cancel a later event
-// that happens to reuse the same recycled struct.
+// the seq stamp guarantees a stale ID can never cancel a later event that
+// happens to reuse the same recycled slot.
 func (s *Simulator) Cancel(id EventID) bool {
-	ev := id.ev
-	if ev == nil || ev.gen != id.gen || ev.index < 0 {
+	i := int(id.slot) - 1
+	if i < 0 || i >= len(s.slab) {
 		return false
 	}
-	s.queue.remove(ev.index)
-	s.putEvent(ev)
+	ev := &s.slab[i]
+	if ev.seq != id.seq || ev.heapIdx < 0 {
+		return false
+	}
+	s.heapRemove(int(ev.heapIdx))
+	s.putSlot(int32(i))
 	return true
 }
 
 // fire pops the next event, advances the clock, and runs the callback. The
-// event is recycled before the callback executes, so a callback that
-// immediately reschedules reuses the struct it just vacated and the free
-// list stays at the size of the peak pending set.
+// slot is recycled before the callback executes, so a callback that
+// immediately reschedules reuses the slot it just vacated and the free list
+// stays at the size of the peak pending set.
 func (s *Simulator) fire() {
-	ev := heap.Pop(&s.queue).(*event)
+	slot := s.heapPopRoot()
+	ev := &s.slab[slot]
 	s.now = ev.at
 	s.processed++
 	fn, call, a, b := ev.fn, ev.call, ev.a, ev.b
-	s.putEvent(ev)
+	s.putSlot(slot)
+	if len(s.heap) == 0 && len(s.slab) > maxEventFree {
+		// The queue drained with an oversized slab (a scheduling burst has
+		// passed its peak): every slot is free, so drop the surplus rather
+		// than pinning burst-sized memory for the rest of the run. Stale
+		// EventIDs into the discarded region fail Cancel's bounds check, and
+		// seq stamps stay valid across the reallocation because they are
+		// never reused.
+		s.slab = make([]event, 0, maxEventFree)
+		s.free = make([]int32, 0, maxEventFree)
+	}
 	if call != nil {
 		call(a, b)
 	} else {
@@ -182,22 +202,47 @@ func (s *Simulator) SetEventHook(fn func()) { s.onEvent = fn }
 
 // Step fires the single next event. It reports false when the queue is empty.
 func (s *Simulator) Step() bool {
-	if len(s.queue) == 0 {
+	if len(s.heap) == 0 {
 		return false
 	}
 	s.fire()
 	return true
 }
 
+// The three run loops are written out directly rather than sharing a
+// continue-predicate closure: the predicate was an indirect call per fired
+// event, measurable on the hot path (the dispatch loop is otherwise just a
+// compare and a call to fire).
+
+// beginRun guards against reentrant dispatch; endRun is deferred by every
+// run loop so a panicking callback leaves the Simulator restartable.
+func (s *Simulator) beginRun() {
+	if s.running {
+		panic("sim: reentrant Run")
+	}
+	s.running = true
+	s.stopped = false
+}
+
+func (s *Simulator) endRun() { s.running = false }
+
 // Run fires events until the queue is empty or Stop is called.
 func (s *Simulator) Run() {
-	s.runInternal(func() bool { return true })
+	s.beginRun()
+	defer s.endRun()
+	for len(s.heap) > 0 && !s.stopped {
+		s.fire()
+	}
 }
 
 // RunUntil fires events with timestamps <= deadline, then advances the clock
 // to exactly deadline. Events scheduled after deadline remain queued.
 func (s *Simulator) RunUntil(deadline Time) {
-	s.runInternal(func() bool { return s.queue[0].at <= deadline })
+	s.beginRun()
+	defer s.endRun()
+	for len(s.heap) > 0 && !s.stopped && s.slab[s.heap[0]].at <= deadline {
+		s.fire()
+	}
 	if !s.stopped && s.now < deadline {
 		s.now = deadline
 	}
@@ -205,21 +250,9 @@ func (s *Simulator) RunUntil(deadline Time) {
 
 // RunForEvents fires at most n events; useful as a watchdog in tests.
 func (s *Simulator) RunForEvents(n uint64) {
-	fired := uint64(0)
-	s.runInternal(func() bool { fired++; return fired <= n })
-}
-
-func (s *Simulator) runInternal(cont func() bool) {
-	if s.running {
-		panic("sim: reentrant Run")
-	}
-	s.running = true
-	s.stopped = false
-	defer func() { s.running = false }()
-	for len(s.queue) > 0 && !s.stopped {
-		if !cont() {
-			return
-		}
+	s.beginRun()
+	defer s.endRun()
+	for fired := uint64(0); len(s.heap) > 0 && !s.stopped && fired < n; fired++ {
 		s.fire()
 	}
 }
@@ -228,25 +261,40 @@ func (s *Simulator) runInternal(cont func() bool) {
 // callback completes. Pending events stay queued.
 func (s *Simulator) Stop() { s.stopped = true }
 
+// tickerState is the pinned per-ticker record. One struct and one cancel
+// closure are allocated when the ticker is created; each tick then
+// reschedules through the static tickerFire trampoline with the state as
+// operand, so a running ticker (periodic DRE relays, probe rounds) costs
+// zero allocations per tick.
+type tickerState struct {
+	s        *Simulator
+	interval Time
+	fn       func()
+	stopped  bool
+}
+
+// tickerFire is the static trampoline for ticker events. As with the
+// pre-slab closure ticker, a cancelled ticker's already-scheduled event
+// still fires once as a no-op (and is not rescheduled), so cancellation
+// semantics — and event sequence numbering — are unchanged.
+func tickerFire(a, _ any) {
+	t := a.(*tickerState)
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.s.AfterCall(t.interval, tickerFire, t, nil)
+	}
+}
+
 // Ticker invokes fn every interval, starting interval from now, until the
 // returned cancel function is called. fn observes the tick time via Now.
 func (s *Simulator) Ticker(interval Time, fn func()) (cancel func()) {
 	if interval <= 0 {
 		panic(fmt.Sprintf("sim: non-positive ticker interval %v", interval))
 	}
-	stopped := false
-	var schedule func()
-	schedule = func() {
-		s.After(interval, func() {
-			if stopped {
-				return
-			}
-			fn()
-			if !stopped {
-				schedule()
-			}
-		})
-	}
-	schedule()
-	return func() { stopped = true }
+	t := &tickerState{s: s, interval: interval, fn: fn}
+	s.AfterCall(interval, tickerFire, t, nil)
+	return func() { t.stopped = true }
 }
