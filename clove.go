@@ -36,11 +36,13 @@ package clove
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"clove/internal/cluster"
 	"clove/internal/datapath"
 	"clove/internal/experiments"
 	"clove/internal/netem"
+	"clove/internal/sim"
 	"clove/internal/stats"
 )
 
@@ -99,6 +101,14 @@ func ScaledTestbed(scale float64, hostsPerLeaf int) TopoConfig {
 // Scale sizes an experiment run (see QuickScale / StandardScale /
 // PaperScale).
 type Scale = experiments.Scale
+
+// TraceSpec asks every experiment run for a telemetry trace exported under
+// its Dir (see internal/telemetry and EXPERIMENTS.md "Telemetry & tracing").
+type TraceSpec = experiments.TraceSpec
+
+// FromDuration converts a wall-clock time.Duration into simulated time (for
+// TraceSpec.Interval and similar knobs).
+func FromDuration(d time.Duration) sim.Time { return sim.FromDuration(d) }
 
 // Row is one data point of a regenerated figure.
 type Row = experiments.Row

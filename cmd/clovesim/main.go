@@ -38,6 +38,11 @@ func main() {
 		workers   = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial); output is identical for any -j")
 		useOracle = flag.Bool("oracle", false, "run every simulation under the correctness oracle (see EXPERIMENTS.md \"Correctness\"); panics on any invariant violation")
 
+		// Telemetry (see EXPERIMENTS.md "Telemetry & tracing").
+		traceDir      = flag.String("trace", "", "export per-run telemetry traces (JSONL+CSV) under this directory")
+		traceInterval = flag.Duration("trace-interval", 0, "telemetry sampling interval (default 100µs sim time)")
+		traceSamples  = flag.Int("trace-samples", 0, "per-stream ring-buffer bound (default 16384)")
+
 		// Optional overrides on top of the chosen scale.
 		hosts     = flag.Int("hosts", 0, "override hosts per leaf")
 		jobs      = flag.Int("jobs", 0, "override total jobs per run")
@@ -109,6 +114,13 @@ func main() {
 	}
 	sc.Parallelism = *workers
 	sc.Oracle = *useOracle
+	if *traceDir != "" {
+		sc.Telemetry = &clove.TraceSpec{
+			Dir:        *traceDir,
+			Interval:   clove.FromDuration(*traceInterval),
+			MaxSamples: *traceSamples,
+		}
+	}
 
 	var progress io.Writer
 	if *verbose {

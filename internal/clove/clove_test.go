@@ -65,14 +65,85 @@ func TestFlowletIndependentFlows(t *testing.T) {
 
 func TestFlowletEviction(t *testing.T) {
 	ft := NewFlowletTable(100)
-	ft.maxEntries = 10
+	ft.SetMaxEntries(10)
 	for i := 0; i < 10; i++ {
 		ft.Touch(flow(i), sim.Time(i))
 	}
-	// All old entries idle > 10 gaps at t=100000.
+	// All old entries idle > 10 gaps at t=100000. Eviction is amortized: the
+	// at-capacity insert reclaims at most evictScanBudget entries (the old
+	// implementation swept the whole table inline on one packet).
 	ft.Touch(flow(99), 100000)
-	if ft.Len() > 2 {
-		t.Errorf("eviction kept %d entries", ft.Len())
+	if got, want := ft.Len(), 10-evictScanBudget+1; got != want {
+		t.Errorf("after at-capacity insert Len = %d, want %d", got, want)
+	}
+}
+
+func TestFlowletEvictionBoundedWorkPerInsert(t *testing.T) {
+	ft := NewFlowletTable(100)
+	ft.SetMaxEntries(3 * evictScanBudget)
+	for i := 0; i < 3*evictScanBudget; i++ {
+		ft.Touch(flow(i), sim.Time(i))
+	}
+	// Everything expired. Refilling takes several inserts, each evicting at
+	// most the budget; the occupancy never exceeds the bound while evictable
+	// entries remain (2*budget inserts leave budget expired entries spare).
+	now := sim.Time(1_000_000)
+	for i := 0; i < 2*evictScanBudget; i++ {
+		ft.Touch(flow(1000+i), now+sim.Time(i))
+		if ft.Len() > 3*evictScanBudget {
+			t.Fatalf("insert %d: Len = %d exceeds capacity %d with expired entries present",
+				i, ft.Len(), 3*evictScanBudget)
+		}
+	}
+}
+
+func TestFlowletEvictionSparesLiveEntries(t *testing.T) {
+	ft := NewFlowletTable(100)
+	ft.SetMaxEntries(4)
+	for i := 0; i < 4; i++ {
+		ft.Touch(flow(i), sim.Time(i))
+	}
+	// A 5th flow arrives while every tracked flow is recent: nothing in the
+	// scan budget qualifies, so the table grows past the bound rather than
+	// evicting a live flowlet (correctness over the memory bound).
+	ft.Touch(flow(4), 50)
+	if ft.Len() != 5 {
+		t.Fatalf("Len = %d, want 5 (live entries must survive)", ft.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if _, isNew := ft.Touch(flow(i), sim.Time(60+i)); isNew {
+			t.Errorf("live flow %d lost its entry to eviction", i)
+		}
+	}
+}
+
+func TestFlowletCounterAcrossEvictions(t *testing.T) {
+	ft := NewFlowletTable(100)
+	ft.SetMaxEntries(8)
+	for i := 0; i < 8; i++ {
+		ft.Touch(flow(i), sim.Time(i))
+	}
+	if ft.Flowlets() != 8 {
+		t.Fatalf("Flowlets = %d, want 8", ft.Flowlets())
+	}
+	// Expire all 8 and insert a 9th: the scan (budget 8) reclaims them all.
+	ft.Touch(flow(8), 100_000)
+	if ft.Flowlets() != 9 {
+		t.Errorf("Flowlets = %d, want 9", ft.Flowlets())
+	}
+	if ft.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ft.Len())
+	}
+	// The evicted flows return: each restarts as a fresh entry (ID 0) and the
+	// cumulative flowlet counter keeps counting monotonically.
+	for i := 0; i < 8; i++ {
+		e, isNew := ft.Touch(flow(i), 100_001+sim.Time(i))
+		if !isNew || e.ID != 0 {
+			t.Errorf("returning flow %d: isNew=%v id=%d, want new with id 0", i, isNew, e.ID)
+		}
+	}
+	if ft.Flowlets() != 17 {
+		t.Errorf("Flowlets = %d, want 17", ft.Flowlets())
 	}
 }
 
@@ -297,6 +368,69 @@ func TestWeightTableFloor(t *testing.T) {
 	}
 }
 
+// TestWeightTableFloorHoldsAfterRescale is the normalize regression test:
+// the old single clamp-then-rescale pass clamped paths to the floor and then
+// divided by the raised sum, pushing exactly the clamped paths back below
+// the documented minimum. Water-filling must keep every weight at or above
+// the floor after every feedback event.
+func TestWeightTableFloorHoldsAfterRescale(t *testing.T) {
+	cfg := DefaultWeightTableConfig(100 * sim.Microsecond)
+	ports := make([]uint16, 40) // 40 * 0.02 = 0.8 < 1: floor is feasible
+	for i := range ports {
+		ports[i] = uint16(1000 + i)
+	}
+	wt := NewWeightTable(cfg, ports)
+	// Congest every path but the first, repeatedly: 39 paths sink to the
+	// floor while the survivor absorbs the mass. Check the invariant after
+	// every event — the violation is largest right after a rescale.
+	now := sim.Time(0)
+	for r := 0; r < 20; r++ {
+		for i := 1; i < len(ports); i++ {
+			now++
+			wt.OnCongestion(ports[i], now)
+			var sum float64
+			for p, w := range wt.Weights() {
+				if w < cfg.Floor-1e-12 {
+					t.Fatalf("round %d: port %d below floor: %v < %v", r, p, w, cfg.Floor)
+				}
+				sum += w
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("round %d: weights sum to %v", r, sum)
+			}
+		}
+	}
+}
+
+// TestWeightTableFloorInfeasible64Paths: with 64 paths the default floor is
+// infeasible (64 * 0.02 = 1.28 > 1) — no distribution can satisfy it, and
+// the table must fall back to uniform weights instead of looping or
+// producing a sum above 1.
+func TestWeightTableFloorInfeasible64Paths(t *testing.T) {
+	cfg := DefaultWeightTableConfig(100 * sim.Microsecond)
+	ports := make([]uint16, 64)
+	for i := range ports {
+		ports[i] = uint16(2000 + i)
+	}
+	wt := NewWeightTable(cfg, ports)
+	now := sim.Time(0)
+	for i := 0; i < 300; i++ {
+		now++
+		wt.OnCongestion(ports[i%len(ports)], now)
+	}
+	eq := 1.0 / float64(len(ports))
+	var sum float64
+	for p, w := range wt.Weights() {
+		if math.Abs(w-eq) > 1e-9 {
+			t.Fatalf("port %d weight %v, want uniform %v under infeasible floor", p, w, eq)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v", sum)
+	}
+}
+
 func TestWeightTableSinglePathStable(t *testing.T) {
 	wt := NewWeightTable(DefaultWeightTableConfig(100), []uint16{10})
 	wt.OnCongestion(10, 50)
@@ -365,6 +499,44 @@ func TestLeastUtilizedPort(t *testing.T) {
 	wt.OnUtilization(20, 0.3, later)
 	if got := wt.LeastUtilizedPort(later + 1); got == 20 {
 		t.Error("fresh nonzero sample beat aged-out zeros")
+	}
+}
+
+// TestLeastUtilizedPortAllStaleSpreads is the Clove-INT herding regression
+// test: before any utilization report arrives (or after every report has
+// aged out), each path's effective utilization is zero and the old
+// tie-breaking pick returned table index 0 for every flowlet. The choice
+// must instead fall back to weighted round-robin and spread flowlets evenly.
+func TestLeastUtilizedPortAllStaleSpreads(t *testing.T) {
+	wt := defaultWT()
+	counts := map[uint16]int{}
+	const picks = 400
+	for i := 0; i < picks; i++ {
+		counts[wt.LeastUtilizedPort(sim.Time(1000+i))]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("all-stale picks herded onto %d ports: %v", len(counts), counts)
+	}
+	for p, c := range counts {
+		if c != picks/4 {
+			t.Errorf("port %d picked %d/%d, want even spread %d", p, c, picks, picks/4)
+		}
+	}
+
+	// A report makes the freshness-based choice take over again...
+	now := sim.Time(10_000)
+	wt.OnUtilization(20, 0.3, now)
+	if got := wt.LeastUtilizedPort(now + 1); got == 20 {
+		t.Error("fresh nonzero sample beat never-reported zeros (optimistic re-probe broken)")
+	}
+	// ...and once it ages out, picks spread again instead of herding.
+	later := now + DefaultWeightTableConfig(100*sim.Microsecond).UtilAge + 1
+	counts = map[uint16]int{}
+	for i := 0; i < picks; i++ {
+		counts[wt.LeastUtilizedPort(later+sim.Time(i))]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("aged-out picks herded onto %d ports: %v", len(counts), counts)
 	}
 }
 

@@ -1,0 +1,86 @@
+package clove
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clove/internal/sim"
+)
+
+// randomPortSet returns 1..maxN distinct ports in random order.
+func randomPortSet(rng *rand.Rand, maxN int) []uint16 {
+	n := 1 + rng.Intn(maxN)
+	perm := rng.Perm(4 * maxN)[:n]
+	ports := make([]uint16, n)
+	for i, p := range perm {
+		ports[i] = uint16(1000 + p)
+	}
+	return ports
+}
+
+// TestWeightTablePropertyRandomizedOps drives 1000 randomized operation
+// sequences of OnCongestion / OnUtilization / SetPorts (including feedback
+// for ports not in the set) and checks the table invariants after every
+// single operation:
+//
+//   - the weights sum to 1 within 1e-6,
+//   - every weight respects the floor (feasible by construction: at most 12
+//     paths at the default floor of 0.02),
+//   - the port set is exactly the most recent SetPorts argument, in order.
+func TestWeightTablePropertyRandomizedOps(t *testing.T) {
+	const sequences = 1000
+	const maxPaths = 12
+	rng := rand.New(rand.NewSource(1))
+	for seq := 0; seq < sequences; seq++ {
+		cfg := DefaultWeightTableConfig(sim.Time(1+rng.Intn(1000)) * sim.Microsecond)
+		ports := randomPortSet(rng, maxPaths)
+		wt := NewWeightTable(cfg, ports)
+		now := sim.Time(0)
+		nOps := 5 + rng.Intn(40)
+		for op := 0; op < nOps; op++ {
+			now += sim.Time(rng.Intn(1_000_000))
+			switch rng.Intn(6) {
+			case 0, 1:
+				wt.OnCongestion(ports[rng.Intn(len(ports))], now)
+			case 2:
+				wt.OnUtilization(ports[rng.Intn(len(ports))], rng.Float64()*1.2, now)
+			case 3:
+				ports = randomPortSet(rng, maxPaths)
+				wt.SetPorts(ports)
+			case 4:
+				// Feedback for a port outside the set must change nothing.
+				wt.OnCongestion(uint16(60000+rng.Intn(100)), now)
+			case 5:
+				wt.OnUtilization(uint16(60000+rng.Intn(100)), rng.Float64(), now)
+			}
+			checkTableInvariants(t, wt, ports, cfg, seq, op)
+		}
+	}
+}
+
+func checkTableInvariants(t *testing.T, wt *WeightTable, ports []uint16, cfg WeightTableConfig, seq, op int) {
+	t.Helper()
+	got := wt.Ports()
+	if len(got) != len(ports) {
+		t.Fatalf("seq %d op %d: port count %d, want %d", seq, op, len(got), len(ports))
+	}
+	for i := range ports {
+		if got[i] != ports[i] {
+			t.Fatalf("seq %d op %d: port[%d] = %d, want %d", seq, op, i, got[i], ports[i])
+		}
+	}
+	var sum float64
+	wt.VisitStates(func(p PathState) {
+		if p.Weight < cfg.Floor-1e-9 {
+			t.Fatalf("seq %d op %d: port %d weight %v below floor %v", seq, op, p.Port, p.Weight, cfg.Floor)
+		}
+		if p.Weight > 1+1e-9 {
+			t.Fatalf("seq %d op %d: port %d weight %v above 1", seq, op, p.Port, p.Weight)
+		}
+		sum += p.Weight
+	})
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("seq %d op %d: weights sum to %v", seq, op, sum)
+	}
+}

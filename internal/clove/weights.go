@@ -59,6 +59,9 @@ type WeightTable struct {
 	cfg   WeightTableConfig
 	paths []PathState
 	wrr   *WRR
+	// floored is normalize's scratch marker slice, retained so the
+	// per-feedback water-filling pass does not allocate.
+	floored []bool
 }
 
 // NewWeightTable creates a table over the discovered ports with equal
@@ -128,6 +131,14 @@ func (t *WeightTable) Weights() map[uint16]float64 {
 // States returns a copy of the per-path state (tests, telemetry).
 func (t *WeightTable) States() []PathState { return append([]PathState(nil), t.paths...) }
 
+// VisitStates calls fn for every path's state in table order without
+// copying the slice (the telemetry sampler walks tables every interval).
+func (t *WeightTable) VisitStates(fn func(PathState)) {
+	for i := range t.paths {
+		fn(t.paths[i])
+	}
+}
+
 // NextPort returns the next flowlet's port per weighted round-robin.
 func (t *WeightTable) NextPort() uint16 { return t.wrr.Next() }
 
@@ -188,16 +199,29 @@ func (t *WeightTable) OnUtilization(port uint16, util float64, now sim.Time) {
 // LeastUtilizedPort returns the port with the smallest current utilization
 // estimate (Clove-INT's proactive choice). Samples older than UtilAge count
 // as zero so that quiet paths get re-probed. Ties break by table order.
+//
+// When no path has a fresh sample at all (run start, or every report aged
+// out), every effective utilization is zero and picking the tie-break winner
+// would herd every new flowlet onto table index 0. Instead the choice falls
+// back to the table's weighted round-robin, which spreads flowlets across
+// all paths until INT feedback arrives.
 func (t *WeightTable) LeastUtilizedPort(now sim.Time) uint16 {
 	if len(t.paths) == 0 {
 		panic("clove: LeastUtilizedPort on empty table")
 	}
 	best, bestUtil := 0, math.Inf(1)
+	anyFresh := false
 	for i := range t.paths {
+		if t.fresh(i, now) {
+			anyFresh = true
+		}
 		u := t.effectiveUtil(i, now)
 		if u < bestUtil {
 			best, bestUtil = i, u
 		}
+	}
+	if !anyFresh {
+		return t.wrr.Next()
 	}
 	return t.paths[best].Port
 }
@@ -221,8 +245,13 @@ func (t *WeightTable) congested(i int, now sim.Time) bool {
 	return lc > 0 && now-lc < t.cfg.CongestedAge
 }
 
+// fresh reports whether path i has a utilization sample within UtilAge.
+func (t *WeightTable) fresh(i int, now sim.Time) bool {
+	return t.paths[i].UtilAt != 0 && now-t.paths[i].UtilAt <= t.cfg.UtilAge
+}
+
 func (t *WeightTable) effectiveUtil(i int, now sim.Time) float64 {
-	if t.paths[i].UtilAt == 0 || now-t.paths[i].UtilAt > t.cfg.UtilAge {
+	if !t.fresh(i, now) {
 		return 0
 	}
 	return t.paths[i].Util
@@ -237,27 +266,91 @@ func (t *WeightTable) index(port uint16) int {
 	return -1
 }
 
-// normalize clamps weights to the floor and rescales to sum 1.
+// normalize clamps weights to the floor and rescales to sum 1, keeping the
+// floor invariant after the rescale.
+//
+// A single clamp-then-rescale pass is not enough: clamping raises the sum
+// above 1, and dividing by that sum pushes the clamped paths back below the
+// documented minimum — with many paths near the floor the violation
+// compounds, and Clove stops probing exactly the paths the floor exists to
+// keep alive. Instead, water-fill: pin every path that lands at the floor
+// and rescale only the free paths into the remaining mass, repeating until
+// no free path falls below the floor. The first iteration is numerically
+// identical to the old single pass (multiply by 1, divide by sum), so runs
+// that never hit the floor are bit-for-bit unchanged.
+//
+// When the floor itself is infeasible (Floor * len(paths) >= 1, e.g. 64
+// paths at the default 0.02) no distribution can satisfy it; the table
+// falls back to uniform weights, the closest floor-respecting shape.
 func (t *WeightTable) normalize() {
-	if len(t.paths) == 0 {
+	n := len(t.paths)
+	if n == 0 {
 		return
 	}
-	var sum float64
-	for i := range t.paths {
-		if t.paths[i].Weight < t.cfg.Floor {
-			t.paths[i].Weight = t.cfg.Floor
-		}
-		sum += t.paths[i].Weight
-	}
-	if sum <= 0 {
-		eq := 1.0 / float64(len(t.paths))
+	floor := t.cfg.Floor
+	if floor*float64(n) >= 1 {
+		eq := 1.0 / float64(n)
 		for i := range t.paths {
 			t.paths[i].Weight = eq
 		}
 		return
 	}
+	var sum float64
 	for i := range t.paths {
-		t.paths[i].Weight /= sum
+		if t.paths[i].Weight < floor {
+			t.paths[i].Weight = floor
+		}
+		sum += t.paths[i].Weight
+	}
+	if sum <= 0 {
+		eq := 1.0 / float64(n)
+		for i := range t.paths {
+			t.paths[i].Weight = eq
+		}
+		return
+	}
+	if cap(t.floored) < n {
+		t.floored = make([]bool, n)
+	}
+	floored := t.floored[:n]
+	for i := range floored {
+		floored[i] = false
+	}
+	// Each iteration either converges or pins at least one more path, so the
+	// loop runs at most n times. Feasibility (floor*n < 1) guarantees the
+	// free paths' target mass always exceeds floor per path on average, so
+	// not every path can end up pinned; the defensive break below only
+	// triggers under floating-point pathology.
+	for iter := 0; iter < n; iter++ {
+		nFloored := 0
+		sumFree := 0.0
+		for i := range t.paths {
+			if floored[i] {
+				nFloored++
+			} else {
+				sumFree += t.paths[i].Weight
+			}
+		}
+		target := 1 - floor*float64(nFloored)
+		if nFloored == n || sumFree <= 0 {
+			break
+		}
+		changed := false
+		for i := range t.paths {
+			if floored[i] {
+				continue
+			}
+			w := t.paths[i].Weight * target / sumFree
+			if w < floor {
+				w = floor
+				floored[i] = true
+				changed = true
+			}
+			t.paths[i].Weight = w
+		}
+		if !changed {
+			return
+		}
 	}
 }
 

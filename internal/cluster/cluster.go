@@ -17,6 +17,7 @@ import (
 	"clove/internal/sim"
 	"clove/internal/stats"
 	"clove/internal/tcp"
+	"clove/internal/telemetry"
 	"clove/internal/vswitch"
 )
 
@@ -100,6 +101,12 @@ type Config struct {
 	// Observation never perturbs the simulation; call CheckOracle after the
 	// run for the verdict.
 	Oracle bool
+	// Telemetry, when non-nil, installs the metrics/trace subsystem
+	// (internal/telemetry): polled streams for queue occupancy, path weights,
+	// cwnd, and sim load, plus event streams for retransmits, flowlets, and
+	// FCTs. Nil (the default) leaves every hot-path hook behind a single nil
+	// check, preserving the zero-allocation forwarding path.
+	Telemetry *telemetry.Config
 	// FreezeWeights disables Clove weight adaptation (WeightTableConfig
 	// .Frozen) — differential tests only.
 	FreezeWeights bool
@@ -117,10 +124,13 @@ type Cluster struct {
 	Recorder  *stats.FCTRecorder
 	// Oracle is the installed correctness oracle, nil unless Config.Oracle.
 	Oracle *oracle.Oracle
+	// Trace is the installed tracer, nil unless Config.Telemetry is set.
+	Trace *telemetry.Tracer
 
 	rtt      sim.Time
 	tcpCfg   tcp.Config
 	conns    map[connKey]*Conn
+	connList []*Conn // open order, for deterministic telemetry sampling
 	nextPort uint16
 }
 
@@ -249,6 +259,7 @@ func New(cfg Config) *Cluster {
 	case SchemeLetFlow:
 		attachLetFlow(s, ls, c.Cfg.FlowletGap)
 	}
+	c.setupTelemetry()
 	return c
 }
 

@@ -51,7 +51,15 @@ func (c *Cluster) OpenConn(client, server packet.HostID, idx int) *Conn {
 		cvs.Register(flow.Reverse(), snd.HandleAck)
 		conn.snd = snd
 	}
+	if conn.mp != nil {
+		for _, sub := range conn.mp.Subflows() {
+			sub.SetTrace(c.Trace)
+		}
+	} else {
+		conn.snd.SetTrace(c.Trace)
+	}
 	c.conns[key] = conn
+	c.connList = append(c.connList, conn)
 	return conn
 }
 

@@ -71,7 +71,10 @@ func (c *Cluster) RunIncast(p IncastParams) IncastResult {
 		pending := p.Fanout
 		for _, si := range perm {
 			conn := serverConns[si]
-			conn.StartJob(shard, func(sim.Time) {
+			conn.StartJob(shard, func(fct sim.Time) {
+				if tr := c.Trace; tr != nil {
+					tr.FCT(c.Sim.Now(), conn.Client, conn.Server, shard, fct)
+				}
 				res.Bytes += shard
 				pending--
 				if pending == 0 {

@@ -109,9 +109,12 @@ func (c *Cluster) RunWebSearch(p WebSearchParams) WebSearchResult {
 		jobsPerConn = 1
 	}
 	target := jobsPerConn * len(conns)
-	record := func(size int64) func(sim.Time) {
+	record := func(conn *Conn, size int64) func(sim.Time) {
 		return func(fct sim.Time) {
 			c.Recorder.Add(size, fct)
+			if tr := c.Trace; tr != nil {
+				tr.FCT(c.Sim.Now(), conn.Client, conn.Server, size, fct)
+			}
 			res.Completed++
 			if res.Completed == target {
 				c.Sim.Stop()
@@ -131,7 +134,7 @@ func (c *Cluster) RunWebSearch(p WebSearchParams) WebSearchResult {
 				size = 1
 			}
 			res.Issued++
-			w.conn.StartJob(size, record(size))
+			w.conn.StartJob(size, record(w.conn, size))
 			c.Sim.After(w.arrivals.Next(), func() { issue(remaining - 1) })
 		}
 		start := p.Warmup + w.arrivals.Next()

@@ -11,6 +11,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"clove/internal/netem"
 	"clove/internal/sim"
 	"clove/internal/stats"
+	"clove/internal/telemetry"
 )
 
 // Scale trades fidelity for runtime. Link rates are always the paper's
@@ -45,6 +47,60 @@ type Scale struct {
 	// run; any detected invariant violation panics with the verdict.
 	// Observation never changes results — output stays byte-identical.
 	Oracle bool
+
+	// Telemetry, when non-nil, traces every run and exports each run's
+	// streams under Telemetry.Dir. Tracing reads simulation state but never
+	// perturbs it, and every run's trace directory is written by exactly one
+	// job, so trace bytes — like FormatRows output — are identical for the
+	// same seeds at any Parallelism.
+	Telemetry *TraceSpec
+}
+
+// TraceSpec asks every run of an experiment for a telemetry trace
+// (internal/telemetry). Each run exports into its own subdirectory of Dir
+// named <figure>_<scheme>[_<variant>]_load<NNN>_seed<N> (incast runs use
+// fanout<NN> instead of load<NNN>).
+type TraceSpec struct {
+	// Dir is the root output directory (created if missing).
+	Dir string
+	// Interval is the sampling interval for the polled streams
+	// (0 = telemetry.DefaultInterval).
+	Interval sim.Time
+	// MaxSamples bounds each stream's ring buffer
+	// (0 = telemetry.DefaultMaxSamples).
+	MaxSamples int
+}
+
+// config converts the spec into the cluster-level telemetry config.
+func (ts *TraceSpec) config() *telemetry.Config {
+	if ts == nil {
+		return nil
+	}
+	return &telemetry.Config{Interval: ts.Interval, MaxSamples: ts.MaxSamples}
+}
+
+// runDir names one run's trace subdirectory. point is "load070" or
+// "fanout05"; the variant label (Fig. 6) is folded to lowercase
+// alphanumerics and dashes so it is filesystem-safe.
+func traceRunDir(figure string, scheme cluster.Scheme, variant, point string, seed int64) string {
+	name := fmt.Sprintf("%s_%s", figure, scheme)
+	if v := sanitizeLabel(variant); v != "" {
+		name += "_" + v
+	}
+	return fmt.Sprintf("%s_%s_seed%d", name, point, seed)
+}
+
+func sanitizeLabel(s string) string {
+	out := make([]byte, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			out = append(out, byte(r))
+		case r >= 'A' && r <= 'Z':
+			out = append(out, byte(r-'A'+'a'))
+		}
+	}
+	return string(out)
 }
 
 // Quick is sized for CI and `go test -bench`: one seed, few load points,
@@ -130,6 +186,7 @@ func runOne(sc Scale, opts sweepOpts, scheme cluster.Scheme, load float64, seed 
 		AsymmetricFailure:  opts.asym,
 		PrestoIdealWeights: opts.prestoGood && scheme == cluster.SchemePresto,
 		Oracle:             sc.Oracle,
+		Telemetry:          sc.Telemetry.config(),
 	}
 	if opts.mutate != nil {
 		opts.mutate(&cfg)
@@ -144,6 +201,13 @@ func runOne(sc Scale, opts sweepOpts, scheme cluster.Scheme, load float64, seed 
 	})
 	if err := c.CheckOracle(); err != nil {
 		panic(fmt.Sprintf("%s %s load=%.2f seed=%d: %v", opts.figure, scheme, load, seed, err))
+	}
+	if sc.Telemetry != nil {
+		point := fmt.Sprintf("load%03d", int(load*100+0.5))
+		dir := filepath.Join(sc.Telemetry.Dir, traceRunDir(opts.figure, scheme, opts.variant, point, seed))
+		if err := c.Trace.Export(dir); err != nil {
+			panic(fmt.Sprintf("%s %s load=%.2f seed=%d: trace export: %v", opts.figure, scheme, load, seed, err))
+		}
 	}
 	return c.Recorder, res.TimedOut
 }
@@ -353,10 +417,11 @@ func Fig7(sc Scale, progress io.Writer) []Row {
 		seed := seeds[i%len(seeds)]
 		start := time.Now()
 		c := cluster.New(cluster.Config{
-			Seed:   seed,
-			Topo:   netem.ScaledTestbed(1.0, sc.HostsPerLeaf),
-			Scheme: p.scheme,
-			Oracle: sc.Oracle,
+			Seed:      seed,
+			Topo:      netem.ScaledTestbed(1.0, sc.HostsPerLeaf),
+			Scheme:    p.scheme,
+			Oracle:    sc.Oracle,
+			Telemetry: sc.Telemetry.config(),
 		})
 		res := c.RunIncast(cluster.IncastParams{
 			Fanout:        p.fanout,
@@ -366,6 +431,13 @@ func Fig7(sc Scale, progress io.Writer) []Row {
 		})
 		if err := c.CheckOracle(); err != nil {
 			panic(fmt.Sprintf("fig7 %s fanout=%d seed=%d: %v", p.scheme, p.fanout, seed, err))
+		}
+		if sc.Telemetry != nil {
+			point := fmt.Sprintf("fanout%02d", p.fanout)
+			dir := filepath.Join(sc.Telemetry.Dir, traceRunDir("fig7", p.scheme, "", point, seed))
+			if err := c.Trace.Export(dir); err != nil {
+				panic(fmt.Sprintf("fig7 %s fanout=%d seed=%d: trace export: %v", p.scheme, p.fanout, seed, err))
+			}
 		}
 		outs[i] = incastOutcome{goodput: res.GoodputBps, completed: res.Completed, timedOut: res.TimedOut}
 		tracker.jobDone(fmt.Sprintf("fig7 %s fanout=%d seed=%d", p.scheme, p.fanout, seed), time.Since(start))
@@ -417,7 +489,7 @@ func Fig9(sc Scale, progress io.Writer) []Row {
 		scheme := schemes[i/len(seeds)]
 		seed := seeds[i%len(seeds)]
 		start := time.Now()
-		rec, _ := runOne(sc, sweepOpts{asym: true}, scheme, 0.7, seed)
+		rec, _ := runOne(sc, sweepOpts{figure: "fig9", asym: true}, scheme, 0.7, seed)
 		mice[i] = rec.Mice().Samples()
 		tracker.jobDone(fmt.Sprintf("fig9 %s seed=%d", scheme, seed), time.Since(start))
 	})

@@ -5,6 +5,7 @@ import (
 
 	"clove/internal/packet"
 	"clove/internal/sim"
+	"clove/internal/telemetry"
 )
 
 // job is one application-level transfer queued on a persistent connection.
@@ -46,8 +47,13 @@ type Sender struct {
 	dupAcks        int
 	inRecovery     bool
 	recover        int64
-	lastIdleCheck  sim.Time
 	lastSendTime   sim.Time
+	// hasSent records that at least one segment was ever emitted. The
+	// slow-start-after-idle check needs it explicitly: lastSendTime == 0 is
+	// ambiguous between "never sent" and "first send happened at sim time
+	// 0", and treating time 0 as the never-sent sentinel disabled the idle
+	// reset for the whole life of such a connection.
+	hasSent bool
 
 	// RTT estimation (Karn: only time un-retransmitted segments).
 	srtt, rttvar sim.Time
@@ -63,6 +69,13 @@ type Sender struct {
 	// ECN.
 	lastECNCut sim.Time
 	sendCWR    bool
+
+	// Telemetry (nil when disabled; see internal/telemetry). The counter
+	// handles are resolved once in SetTrace so the hot path never touches
+	// the registry.
+	trace      *telemetry.Tracer
+	trRetx     *telemetry.Counter
+	trTimeouts *telemetry.Counter
 
 	stats SenderStats
 }
@@ -92,6 +105,23 @@ func (s *Sender) Outstanding() int64 { return s.sndNxt - s.sndUna }
 // Cwnd returns the congestion window in segments (for tests/telemetry).
 func (s *Sender) Cwnd() float64 { return s.cwnd }
 
+// Ssthresh returns the slow-start threshold in segments (tests/telemetry).
+func (s *Sender) Ssthresh() float64 { return s.ssthresh }
+
+// RTO returns the current retransmission timeout (tests/telemetry).
+func (s *Sender) RTO() sim.Time { return s.currentRTO() }
+
+// SetTrace installs the telemetry tracer (nil keeps tracing disabled).
+// Counter handles resolve here, at wiring time.
+func (s *Sender) SetTrace(tr *telemetry.Tracer) {
+	if tr == nil {
+		return
+	}
+	s.trace = tr
+	s.trRetx = tr.Counter("tcp.retransmits")
+	s.trTimeouts = tr.Counter("tcp.timeouts")
+}
+
 // Idle reports whether the sender has nothing outstanding and nothing queued.
 func (s *Sender) Idle() bool { return s.sndUna == s.sndLimit }
 
@@ -106,7 +136,7 @@ func (s *Sender) StartJob(size int64, done func(fct sim.Time)) {
 	if s.cfg.SlowStartAfterIdle && s.Idle() {
 		idle := s.sim.Now() - s.lastSendTime
 		rto := s.currentRTO()
-		if s.lastSendTime > 0 && idle > rto {
+		if s.hasSent && idle > rto {
 			s.cwnd = s.cfg.InitCwnd
 			s.dupAcks = 0
 			s.inRecovery = false
@@ -276,6 +306,10 @@ func (s *Sender) emit(seq int64, segLen int, isRexmit bool) {
 	s.stats.SegmentsSent++
 	if isRexmit {
 		s.stats.Retransmits++
+		s.trRetx.Inc()
+		if tr := s.trace; tr != nil {
+			tr.Retransmit(s.sim.Now(), s.flow, seq, telemetry.RetxFast)
+		}
 		// Karn: invalidate the RTT sample if we retransmitted into it.
 		if s.rttValid && seq <= s.rttSeq {
 			s.rttValid = false
@@ -286,6 +320,7 @@ func (s *Sender) emit(seq int64, segLen int, isRexmit bool) {
 		s.rttValid = true
 	}
 	s.lastSendTime = s.sim.Now()
+	s.hasSent = true
 	if o := s.cfg.Pool.Obs(); o != nil {
 		o.StreamSent(s.flow, seq, seq+int64(segLen), isRexmit)
 	}
@@ -344,6 +379,10 @@ func (s *Sender) onRTO() {
 		return // everything acked in the meantime
 	}
 	s.stats.Timeouts++
+	s.trTimeouts.Inc()
+	if tr := s.trace; tr != nil {
+		tr.Retransmit(s.sim.Now(), s.flow, s.sndUna, telemetry.RetxTimeout)
+	}
 	s.ssthresh = maxf(s.flightSegments()/2, 2)
 	s.cwnd = 1
 	s.dupAcks = 0

@@ -151,3 +151,36 @@ func TestMPTCPOutstandingAccounting(t *testing.T) {
 		t.Errorf("outstanding = %d, want (0, 58400]", out)
 	}
 }
+
+// TestIdleResetAfterJobAtTimeZero is the idle-restart regression test: the
+// sender used lastSendTime > 0 as a "has ever sent" sentinel, so a
+// connection whose entire first job was emitted at t=0 (a window-sized burst
+// that triggers no further sends) never qualified for the slow-start-after-
+// idle reset. The "has sent" state is now tracked explicitly.
+func TestIdleResetAfterJobAtTimeZero(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	snd, _, _, _ := loop(s, cfg, 50*sim.Microsecond)
+	// Exactly one initial window: every segment leaves in the t=0 burst and
+	// the returning ACKs grow cwnd without causing another send, so
+	// lastSendTime stays 0 — the ambiguous sentinel value.
+	size := int64(cfg.InitCwnd) * int64(cfg.MSS)
+	snd.StartJob(size, nil)
+	s.RunUntil(sim.Second)
+	if snd.lastSendTime != 0 {
+		t.Fatalf("premise broken: lastSendTime = %v, want 0 (job must fit the initial window)", snd.lastSendTime)
+	}
+	grown := snd.Cwnd()
+	if grown <= cfg.InitCwnd {
+		t.Skipf("window did not grow (%v); cannot test idle reset", grown)
+	}
+	// Idle far beyond the RTO, then a new job: cwnd must restart from the
+	// initial window even though the only sends so far happened at t=0.
+	s.At(s.Now()+sim.Second, func() {
+		snd.StartJob(1000, nil)
+		if snd.Cwnd() != cfg.InitCwnd {
+			t.Errorf("cwnd after idle = %v, want %v (t=0 sender skipped the idle reset)", snd.Cwnd(), cfg.InitCwnd)
+		}
+	})
+	s.RunUntil(s.Now() + 2*sim.Second)
+}

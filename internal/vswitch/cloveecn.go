@@ -1,6 +1,8 @@
 package vswitch
 
 import (
+	"sort"
+
 	"clove/internal/clove"
 	"clove/internal/packet"
 	"clove/internal/sim"
@@ -12,6 +14,7 @@ import (
 type CloveECN struct {
 	cfg    clove.WeightTableConfig
 	tables map[packet.HostID]*clove.WeightTable
+	dsts   []packet.HostID // table keys, ascending (deterministic iteration)
 }
 
 // NewCloveECN creates the policy; cfg controls the weight-adjustment rule.
@@ -25,6 +28,15 @@ func (*CloveECN) Name() string { return "clove-ecn" }
 // Table returns the weight table for dst (nil before discovery) — exposed
 // for tests and telemetry.
 func (c *CloveECN) Table(dst packet.HostID) *clove.WeightTable { return c.tables[dst] }
+
+// VisitTables calls fn for every destination's weight table in ascending
+// HostID order. The telemetry sampler walks tables every interval; iterating
+// the map directly would randomize sample order per process.
+func (c *CloveECN) VisitTables(fn func(packet.HostID, *clove.WeightTable)) {
+	for _, d := range c.dsts {
+		fn(d, c.tables[d])
+	}
+}
 
 // PickPort implements PathPolicy: weighted round-robin across discovered
 // paths. Before discovery completes it degrades to Edge-Flowlet behaviour
@@ -58,6 +70,7 @@ func (c *CloveECN) SetPaths(dst packet.HostID, ports []uint16) {
 		return
 	}
 	c.tables[dst] = clove.NewWeightTable(c.cfg, ports)
+	c.dsts = insertHostID(c.dsts, dst)
 }
 
 // AllCongested implements PathPolicy.
@@ -72,6 +85,7 @@ func (c *CloveECN) AllCongested(dst packet.HostID, now sim.Time) bool {
 type CloveINT struct {
 	cfg    clove.WeightTableConfig
 	tables map[packet.HostID]*clove.WeightTable
+	dsts   []packet.HostID // table keys, ascending (deterministic iteration)
 	now    func() sim.Time
 }
 
@@ -86,6 +100,14 @@ func (*CloveINT) Name() string { return "clove-int" }
 
 // Table returns the weight table for dst (nil before discovery).
 func (c *CloveINT) Table(dst packet.HostID) *clove.WeightTable { return c.tables[dst] }
+
+// VisitTables calls fn for every destination's weight table in ascending
+// HostID order (see CloveECN.VisitTables).
+func (c *CloveINT) VisitTables(fn func(packet.HostID, *clove.WeightTable)) {
+	for _, d := range c.dsts {
+		fn(d, c.tables[d])
+	}
+}
 
 // PickPort implements PathPolicy: least utilized discovered path.
 func (c *CloveINT) PickPort(dst packet.HostID, flow packet.FiveTuple, flowletID uint32) uint16 {
@@ -117,6 +139,19 @@ func (c *CloveINT) SetPaths(dst packet.HostID, ports []uint16) {
 		return
 	}
 	c.tables[dst] = clove.NewWeightTable(c.cfg, ports)
+	c.dsts = insertHostID(c.dsts, dst)
+}
+
+// insertHostID inserts id into the sorted slice if absent.
+func insertHostID(s []packet.HostID, id packet.HostID) []packet.HostID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	if i < len(s) && s[i] == id {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
 }
 
 // AllCongested implements PathPolicy.

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 
+	"clove/internal/clove"
 	"clove/internal/netem"
 	"clove/internal/packet"
 	"clove/internal/sim"
+	"clove/internal/telemetry"
 )
 
 // Config parameterizes a virtual switch.
@@ -110,7 +112,12 @@ type VSwitch struct {
 	pool *packet.Pool
 
 	policy   PathPolicy
-	flowlets *flowletTableShim
+	flowlets *clove.FlowletTable
+
+	// trace is nil unless telemetry is enabled; the flowlet bookkeeping in
+	// FromVM sits behind a single nil check so the disabled hot path is
+	// unchanged.
+	trace *telemetry.Tracer
 
 	// deliverFn is v.deliver bound once at construction; taking the method
 	// value per delivered packet would allocate.
@@ -135,16 +142,6 @@ type VSwitch struct {
 	stats Stats
 }
 
-// flowletTableShim adapts clove.FlowletTable without importing it here
-// would create no cycle, but the indirection keeps vswitch testable with a
-// fake. In practice it is always the clove implementation.
-type flowletTableShim struct {
-	touch  func(packet.FiveTuple, sim.Time) (port *uint16, id uint32, isNew bool)
-	count  func() int64
-	setGap func(sim.Time)
-	gap    func() sim.Time
-}
-
 // New creates a virtual switch on host using policy, and installs itself as
 // the host's delivery handler.
 func New(s *sim.Simulator, host *netem.Host, cfg Config, policy PathPolicy) *VSwitch {
@@ -160,7 +157,7 @@ func New(s *sim.Simulator, host *netem.Host, cfg Config, policy PathPolicy) *VSw
 		standalone: map[packet.HostID]*standaloneState{},
 	}
 	v.deliverFn = v.deliver
-	v.flowlets = newFlowletShim(cfg.FlowletGap)
+	v.flowlets = clove.NewFlowletTable(cfg.FlowletGap)
 	v.baseGap = cfg.FlowletGap
 	if cfg.AdaptiveFlowletGap {
 		v.delayLo = map[packet.HostID]float64{}
@@ -171,7 +168,17 @@ func New(s *sim.Simulator, host *netem.Host, cfg Config, policy PathPolicy) *VSw
 }
 
 // FlowletGap returns the current (possibly adapted) flowlet gap.
-func (v *VSwitch) FlowletGap() sim.Time { return v.flowlets.gap() }
+func (v *VSwitch) FlowletGap() sim.Time { return v.flowlets.Gap() }
+
+// SetTrace enables flowlet telemetry: every completed flowlet (closed by the
+// idle gap that starts the next one on the same flow) is recorded with its
+// packet/byte size and the gap that ended it. Nil leaves tracing off.
+func (v *VSwitch) SetTrace(tr *telemetry.Tracer) {
+	if tr == nil {
+		return
+	}
+	v.trace = tr
+}
 
 // adaptGap updates the per-peer delay envelope from a reflected delay
 // sample and widens the flowlet gap to cover the largest observed spread,
@@ -199,7 +206,7 @@ func (v *VSwitch) adaptGap(peer packet.HostID, delaySec float64) {
 		}
 	}
 	gap := v.baseGap + sim.FromSeconds(maxSpread)
-	v.flowlets.setGap(gap)
+	v.flowlets.SetGap(gap)
 }
 
 // Host returns the underlying NIC attachment.
@@ -212,7 +219,7 @@ func (v *VSwitch) Policy() PathPolicy { return v.policy }
 func (v *VSwitch) Stats() Stats { return v.stats }
 
 // Flowlets reports how many flowlets the source side has created.
-func (v *VSwitch) Flowlets() int64 { return v.flowlets.count() }
+func (v *VSwitch) Flowlets() int64 { return v.flowlets.Flowlets() }
 
 // Register installs the VM-side handler for packets whose inner 5-tuple
 // equals match (use flow for a receiver, flow.Reverse() for a sender's ACK
@@ -235,13 +242,24 @@ func (v *VSwitch) FromVM(pkt *packet.Packet) {
 	if pp, ok := v.policy.(perPacketPolicy); ok {
 		port = pp.PickPortPacket(dstHyp, pkt.Inner, pkt.PayloadLen)
 	} else {
-		entryPort, flowletID, isNew := v.flowlets.touch(pkt.Inner, now)
-		if isNew {
-			*entryPort = v.policy.PickPort(dstHyp, pkt.Inner, flowletID)
+		e, isNew := v.flowlets.Touch(pkt.Inner, now)
+		if tr := v.trace; tr != nil {
+			if isNew && e.Packets > 0 {
+				// The previous flowlet of this flow just closed: record it
+				// before PickPort overwrites the pinned port. The flow's last
+				// flowlet never closes, so it gets no record.
+				tr.Flowlet(now, pkt.Inner, e.ID-1, e.Port, e.Packets, e.Bytes, e.LastGap)
+				e.Packets, e.Bytes = 0, 0
+			}
+			e.Packets++
+			e.Bytes += int64(pkt.PayloadLen)
 		}
-		port = *entryPort
+		if isNew {
+			e.Port = v.policy.PickPort(dstHyp, pkt.Inner, e.ID)
+		}
+		port = e.Port
 		if o := v.pool.Obs(); o != nil {
-			o.FlowletPick(pkt.Inner, flowletID, port)
+			o.FlowletPick(pkt.Inner, e.ID, port)
 		}
 	}
 
