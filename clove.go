@@ -42,6 +42,7 @@ import (
 	"clove/internal/datapath"
 	"clove/internal/experiments"
 	"clove/internal/netem"
+	"clove/internal/scenario"
 	"clove/internal/sim"
 	"clove/internal/stats"
 )
@@ -146,6 +147,27 @@ func RunSummary(sc Scale, load float64, progress io.Writer) HeadlineResult {
 
 // FormatRows renders figure rows as an aligned text table.
 func FormatRows(rows []Row) string { return experiments.FormatRows(rows) }
+
+// Scenario is a declarative experiment spec: topology, workload blend,
+// schemes, and a timestamped event script (see internal/scenario and the
+// EXPERIMENTS.md "Scenarios" section).
+type Scenario = scenario.Spec
+
+// ScenarioOpts configures a scenario run (parallelism, oracle, telemetry,
+// quick CI scale).
+type ScenarioOpts = experiments.ScenarioOpts
+
+// ScenarioNames lists the scenarios embedded in the binary.
+func ScenarioNames() []string { return scenario.Names() }
+
+// LoadScenario resolves an embedded scenario name or a path to a spec file.
+func LoadScenario(nameOrPath string) (*Scenario, error) { return scenario.Load(nameOrPath) }
+
+// RunScenario executes every (scheme, seed) run of the spec and returns one
+// aggregated Row per scheme; output is byte-identical at any parallelism.
+func RunScenario(sp *Scenario, opts ScenarioOpts, progress io.Writer) []Row {
+	return experiments.RunScenario(sp, opts, progress)
+}
 
 // Endpoint is a real userspace Clove tunnel endpoint over UDP sockets.
 type Endpoint = datapath.Endpoint

@@ -8,6 +8,9 @@
 //	clovesim -fig summary            # the paper's headline ratios
 //	clovesim -fig 8b -scale paper -v # full fidelity with progress
 //	clovesim -fig 4c -j 8            # 8 parallel workers, same output as -j 1
+//	clovesim -list-scenarios         # embedded scenario library
+//	clovesim -scenario storm-rolling-spine -scale quick -oracle
+//	clovesim -scenario ./my-spec.json
 //
 // Independent (scheme, load, seed) runs execute on a worker pool sized by
 // -j (default GOMAXPROCS). Results are collected in deterministic grid
@@ -32,6 +35,8 @@ import (
 func main() {
 	var (
 		fig       = flag.String("fig", "all", "figure to regenerate (4b..9, summary, all)")
+		scen      = flag.String("scenario", "", "run a declarative scenario instead of a figure: an embedded name (see -list-scenarios) or a spec-file path")
+		listScen  = flag.Bool("list-scenarios", false, "list the embedded scenario library and exit")
 		scale     = flag.String("scale", "standard", "run scale: quick | standard | paper")
 		load      = flag.Float64("load", 0.7, "network load for -fig summary")
 		verbose   = flag.Bool("v", false, "stream per-run progress")
@@ -125,6 +130,33 @@ func main() {
 	var progress io.Writer
 	if *verbose {
 		progress = os.Stderr
+	}
+
+	if *listScen {
+		for _, name := range clove.ScenarioNames() {
+			sp, err := clove.LoadScenario(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "clovesim:", err)
+				os.Exit(2)
+			}
+			fmt.Printf("%-24s %s\n", name, sp.Description)
+		}
+		return
+	}
+	if *scen != "" {
+		sp, err := clove.LoadScenario(*scen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clovesim:", err)
+			os.Exit(2)
+		}
+		rows := clove.RunScenario(sp, clove.ScenarioOpts{
+			Quick:       *scale == "quick",
+			Parallelism: *workers,
+			Oracle:      *useOracle,
+			Telemetry:   sc.Telemetry,
+		}, progress)
+		fmt.Print(clove.FormatRows(rows))
+		return
 	}
 
 	run := func(id string) {

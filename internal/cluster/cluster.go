@@ -132,6 +132,10 @@ type Cluster struct {
 	conns    map[connKey]*Conn
 	connList []*Conn // open order, for deterministic telemetry sampling
 	nextPort uint16
+
+	// loadScale multiplies every mix-workload arrival rate; scenario
+	// load-ramp events change it mid-run (see RunMix and SetLoadScale).
+	loadScale float64
 }
 
 type connKey struct {
@@ -155,13 +159,14 @@ func New(cfg Config) *Cluster {
 	s := sim.New(cfg.Seed)
 	ls := netem.BuildLeafSpine(s, cfg.Topo)
 	c := &Cluster{
-		Cfg:      cfg,
-		Sim:      s,
-		LS:       ls,
-		Recorder: &stats.FCTRecorder{},
-		rtt:      ls.BaseRTT(),
-		conns:    map[connKey]*Conn{},
-		nextPort: 10000,
+		Cfg:       cfg,
+		Sim:       s,
+		LS:        ls,
+		Recorder:  &stats.FCTRecorder{},
+		rtt:       ls.BaseRTT(),
+		conns:     map[connKey]*Conn{},
+		nextPort:  10000,
+		loadScale: 1,
 	}
 	// The oracle attaches before anything else happens (in particular before
 	// FailPaperLink) so its link-state tracking observes every transition.
@@ -265,6 +270,28 @@ func New(cfg Config) *Cluster {
 
 // RTT returns the unloaded base round-trip time of the fabric.
 func (c *Cluster) RTT() sim.Time { return c.rtt }
+
+// SetLoadScale multiplies the arrival rate of every mix-workload client from
+// now on (scenario load-ramp events; 1 restores the configured load). It
+// only affects inter-arrival gaps drawn after the call.
+func (c *Cluster) SetLoadScale(f float64) {
+	if !(f > 0) {
+		panic(fmt.Sprintf("cluster: load scale %v", f))
+	}
+	c.loadScale = f
+}
+
+// Quiesce stops every periodic process the cluster started — path probers
+// and the telemetry sampling ticker — so that, once in-flight traffic
+// settles (completing or being Conn.Abort-ed), the event queue can drain to
+// empty: the state in which the oracle's conservation audit is exact
+// (oracle.Check with 0 pending events reports any leaked packet).
+func (c *Cluster) Quiesce() {
+	for _, pr := range c.Probers {
+		pr.Stop()
+	}
+	c.Trace.Stop()
+}
 
 // needsPaths reports whether the scheme consumes discovered path sets.
 func (c *Cluster) needsPaths() bool {

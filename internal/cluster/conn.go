@@ -96,3 +96,16 @@ func (conn *Conn) StartJob(size int64, done func(fct sim.Time)) {
 	}
 	conn.snd.StartJob(size, done)
 }
+
+// Abort tears down the connection's transport mid-transfer: retransmission
+// timers are cancelled and unfinished jobs dropped without completion
+// callbacks. Used when the workload abandons a connection stranded by a
+// fabric failure; with every periodic process also stopped (Quiesce), the
+// event queue then drains and the oracle's conservation audit is exact.
+func (conn *Conn) Abort() {
+	if conn.mp != nil {
+		conn.mp.Abort()
+		return
+	}
+	conn.snd.Abort()
+}

@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"fmt"
+
+	"clove/internal/packet"
+	"clove/internal/sim"
+	"clove/internal/workload"
+)
+
+// MixParams configures a blended workload: every arriving job is one of four
+// components — a web-search flow, an RPC (cache-follower) flow, an ML
+// all-to-all transfer, or an incast partition–aggregate request — drawn with
+// the configured probabilities. The blend is what scenario specs run: the
+// paper's load sweep is the special case FracWebSearch=1.
+type MixParams struct {
+	// Load is the offered load as a fraction of the bisection bandwidth.
+	Load float64
+	// TotalJobs across all clients (composite ML/incast jobs count as one).
+	TotalJobs int
+	// SizeScale multiplies all component sizes (flow-size CDFs, MLBytes,
+	// IncastBytes); smaller values keep packet-level simulation cheap.
+	SizeScale float64
+
+	// Component fractions; they must be non-negative and sum to 1 (the
+	// scenario validator enforces the exact sum, this driver re-checks).
+	FracWebSearch float64
+	FracRPC       float64
+	FracML        float64
+	FracIncast    float64
+
+	// IncastFanout servers answer each incast request (clamped to the
+	// server count); IncastBytes is the total response size per request.
+	IncastFanout int
+	IncastBytes  int64
+	// MLBytes is the total bytes one all-to-all job pushes from its client,
+	// split evenly across every server.
+	MLBytes int64
+
+	// MaxSimTime guards non-converging runs (default 10 min sim time).
+	MaxSimTime sim.Time
+	// Warmup delays the first arrivals (prober path installation).
+	Warmup sim.Time
+}
+
+// MixResult is the outcome of one blended run.
+type MixResult struct {
+	Completed int
+	Issued    int
+	// TimedOut reports that MaxSimTime elapsed before all jobs finished
+	// (expected under unrecovered failures, which strand in-flight jobs).
+	TimedOut bool
+}
+
+// job component indices, in cumulative-probability order.
+const (
+	mixWeb = iota
+	mixRPC
+	mixML
+	mixIncast
+)
+
+// RunMix drives the blended workload to completion and records every job in
+// c.Recorder. Clients are the hosts of leaf 1, servers of leaf 2; each client
+// keeps a persistent connection to every server (and, when incast is in the
+// mix, each server one back to every client), so ML all-to-all and incast
+// use the same cached transports as the singleton flows.
+//
+// Scenario event scripts schedule their link flaps, switch failures, and
+// load ramps on c.Sim before calling RunMix; SetLoadScale takes effect on
+// every inter-arrival gap drawn after the ramp fires.
+func (c *Cluster) RunMix(p MixParams) MixResult {
+	if p.SizeScale == 0 {
+		p.SizeScale = 1
+	}
+	if p.MaxSimTime == 0 {
+		p.MaxSimTime = 600 * sim.Second
+	}
+	fracSum := p.FracWebSearch + p.FracRPC + p.FracML + p.FracIncast
+	if p.FracWebSearch < 0 || p.FracRPC < 0 || p.FracML < 0 || p.FracIncast < 0 ||
+		fracSum < 0.999 || fracSum > 1.001 {
+		panic(fmt.Sprintf("cluster: mix fractions must be >= 0 and sum to 1, got %v", fracSum))
+	}
+	nHosts := c.Cfg.Topo.HostsPerLeaf
+	if p.IncastFanout <= 0 || p.IncastFanout > nHosts {
+		p.IncastFanout = nHosts
+	}
+	if p.IncastBytes == 0 {
+		p.IncastBytes = 1e6
+	}
+	if p.MLBytes == 0 {
+		p.MLBytes = 1e6
+	}
+
+	webDist := workload.WebSearch()
+	rpcDist := workload.CacheFollower()
+	if p.SizeScale != 1 {
+		webDist = webDist.Scaled(p.SizeScale)
+		rpcDist = rpcDist.Scaled(p.SizeScale)
+	}
+	mlBytes := int64(float64(p.MLBytes) * p.SizeScale)
+	incastBytes := int64(float64(p.IncastBytes) * p.SizeScale)
+	if mlBytes <= 0 {
+		mlBytes = 1
+	}
+	if incastBytes <= 0 {
+		incastBytes = 1
+	}
+	c.Recorder.SetSizeScale(p.SizeScale)
+
+	rng := c.Sim.Rand()
+
+	// Persistent connection meshes. The forward mesh carries web, RPC, and
+	// ML traffic; the reverse mesh (servers answering clients) exists only
+	// when incast is in the blend.
+	fwd := make([][]*Conn, nHosts)
+	var rev [][]*Conn
+	var pairs [][2]packet.HostID
+	for ci := 0; ci < nHosts; ci++ {
+		fwd[ci] = make([]*Conn, nHosts)
+		for si := 0; si < nHosts; si++ {
+			client, server := packet.HostID(ci), packet.HostID(nHosts+si)
+			fwd[ci][si] = c.OpenConn(client, server, 0)
+			pairs = append(pairs, [2]packet.HostID{client, server}, [2]packet.HostID{server, client})
+		}
+	}
+	if p.FracIncast > 0 {
+		rev = make([][]*Conn, nHosts)
+		for ci := 0; ci < nHosts; ci++ {
+			rev[ci] = make([]*Conn, nHosts)
+			for si := 0; si < nHosts; si++ {
+				rev[ci][si] = c.OpenConn(packet.HostID(nHosts+si), packet.HostID(ci), 0)
+			}
+		}
+	}
+	c.SetupPaths(pairs)
+
+	// Arrival rate per client, from the blend's mean job footprint.
+	meanJob := p.FracWebSearch*webDist.Mean() + p.FracRPC*rpcDist.Mean() +
+		p.FracML*float64(mlBytes) + p.FracIncast*float64(incastBytes)
+	rate := workload.ArrivalRateForLoad(p.Load, c.LS.BisectionBps(), nHosts, meanJob)
+
+	res := MixResult{}
+	jobsPerClient := p.TotalJobs / nHosts
+	if jobsPerClient == 0 {
+		jobsPerClient = 1
+	}
+	target := jobsPerClient * nHosts
+	jobDone := func() {
+		res.Completed++
+		if res.Completed == target {
+			c.Sim.Stop()
+		}
+	}
+	// recordFlow finishes a singleton (web/RPC) job.
+	recordFlow := func(conn *Conn, size int64) func(sim.Time) {
+		return func(fct sim.Time) {
+			c.Recorder.Add(size, fct)
+			if tr := c.Trace; tr != nil {
+				tr.FCT(c.Sim.Now(), conn.Client, conn.Server, size, fct)
+			}
+			jobDone()
+		}
+	}
+	// recordShard traces one shard of a composite job and completes the job
+	// when the last shard lands: the Recorder sees one sample whose FCT
+	// spans issue → slowest shard, the paper's partition–aggregate metric.
+	type composite struct {
+		pending int
+		total   int64
+		start   sim.Time
+	}
+	recordShard := func(conn *Conn, comp *composite, shard int64) func(sim.Time) {
+		return func(sim.Time) {
+			if tr := c.Trace; tr != nil {
+				tr.FCT(c.Sim.Now(), conn.Client, conn.Server, shard, c.Sim.Now()-comp.start)
+			}
+			comp.pending--
+			if comp.pending == 0 {
+				c.Recorder.Add(comp.total, c.Sim.Now()-comp.start)
+				jobDone()
+			}
+		}
+	}
+
+	pick := func() int {
+		u := rng.Float64()
+		switch {
+		case u < p.FracWebSearch:
+			return mixWeb
+		case u < p.FracWebSearch+p.FracRPC:
+			return mixRPC
+		case u < p.FracWebSearch+p.FracRPC+p.FracML:
+			return mixML
+		default:
+			return mixIncast
+		}
+	}
+
+	issueJob := func(ci int) {
+		res.Issued++
+		switch pick() {
+		case mixWeb:
+			si := rng.Intn(nHosts)
+			size := webDist.Sample(rng)
+			fwd[ci][si].StartJob(size, recordFlow(fwd[ci][si], size))
+		case mixRPC:
+			si := rng.Intn(nHosts)
+			size := rpcDist.Sample(rng)
+			fwd[ci][si].StartJob(size, recordFlow(fwd[ci][si], size))
+		case mixML:
+			shard := mlBytes / int64(nHosts)
+			if shard <= 0 {
+				shard = 1
+			}
+			comp := &composite{pending: nHosts, total: shard * int64(nHosts), start: c.Sim.Now()}
+			for si := 0; si < nHosts; si++ {
+				fwd[ci][si].StartJob(shard, recordShard(fwd[ci][si], comp, shard))
+			}
+		case mixIncast:
+			shard := incastBytes / int64(p.IncastFanout)
+			if shard <= 0 {
+				shard = 1
+			}
+			perm := rng.Perm(nHosts)[:p.IncastFanout]
+			comp := &composite{pending: p.IncastFanout, total: shard * int64(p.IncastFanout), start: c.Sim.Now()}
+			for _, si := range perm {
+				rev[ci][si].StartJob(shard, recordShard(rev[ci][si], comp, shard))
+			}
+		}
+	}
+
+	// One arrival chain per client. The inter-arrival gap is drawn at
+	// schedule time so a mid-run SetLoadScale bends the process immediately.
+	nextGap := func() sim.Time {
+		return sim.FromSeconds(rng.ExpFloat64() / (rate * c.loadScale))
+	}
+	for ci := 0; ci < nHosts; ci++ {
+		ci := ci
+		var issue func(remaining int)
+		issue = func(remaining int) {
+			if remaining == 0 {
+				return
+			}
+			issueJob(ci)
+			c.Sim.After(nextGap(), func() { issue(remaining - 1) })
+		}
+		c.Sim.After(p.Warmup+nextGap(), func() { issue(jobsPerClient) })
+	}
+
+	c.Sim.RunUntil(p.MaxSimTime)
+	if res.Completed < target {
+		res.TimedOut = true
+	}
+	return res
+}
+
+// AbortOpenConns tears down the transport of every open connection (see
+// Conn.Abort); used by teardown tests and scenario runs that end with
+// unrecovered failures, so the event queue can drain for the oracle's
+// conservation audit.
+func (c *Cluster) AbortOpenConns() {
+	for _, conn := range c.connList {
+		conn.Abort()
+	}
+}

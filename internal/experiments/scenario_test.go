@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"clove/internal/scenario"
+	"clove/internal/sim"
+)
+
+// stormSpec is an event-script workout: a rolling two-link storm overlapping
+// a load ramp, run over two schemes and two seeds at CI scale.
+func stormSpec(t *testing.T) *scenario.Spec {
+	t.Helper()
+	sp := &scenario.Spec{
+		Name: "det-storm",
+		Topology: scenario.TopologySpec{
+			K: 4, HostsPerLeaf: 4, TrunksPerPair: 2,
+		},
+		Workload: scenario.WorkloadSpec{
+			Load: 0.4, TotalJobs: 80, SizeScale: 0.1,
+			Mix:       scenario.MixFractions{WebSearch: 0.75, RPC: 0.25},
+			MaxTimeMs: 10000,
+		},
+		Schemes: []string{"ecmp", "clove-ecn"},
+		Seeds:   []int64{1, 2},
+		Events: []scenario.EventSpec{
+			{AtMs: 200, Type: scenario.EventLoadScale, Scale: 2},
+			{AtMs: 300, Type: scenario.EventStorm, Storm: &scenario.StormSpec{
+				Links: []scenario.LinkRef{
+					{A: "L2", B: "S1", Trunk: 0},
+					{A: "L2", B: "S2", Trunk: 1},
+				},
+				PeriodMs: 150, DurationMs: 600,
+			}},
+			{AtMs: 1500, Type: scenario.EventLoadScale, Scale: 1},
+		},
+	}
+	sp.ApplyDefaults()
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// TestScenarioDeterministicAcrossParallelism: the same storm script run
+// serially, serially again, and at -j4 produces byte-identical result tables
+// and telemetry trace trees. Scripted events are ordinary simulator events,
+// so the PR 4/5 byte-identity guarantees must survive them.
+func TestScenarioDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario runs are slow; skipping in -short")
+	}
+	run := func(parallelism int, traceDir string) ([]Row, map[string]string) {
+		opts := ScenarioOpts{Parallelism: parallelism, Oracle: parallelism == 1}
+		if traceDir != "" {
+			opts.Telemetry = &TraceSpec{Dir: traceDir, Interval: 200 * sim.Microsecond, MaxSamples: 256}
+		}
+		rows := RunScenario(stormSpec(t), opts, nil)
+		if traceDir == "" {
+			return rows, nil
+		}
+		return rows, readTree(t, traceDir)
+	}
+
+	d1 := t.TempDir()
+	rows1, tree1 := run(1, d1)
+	d1b := t.TempDir()
+	rows1b, tree1b := run(1, d1b)
+	d4 := t.TempDir()
+	rows4, tree4 := run(4, d4)
+
+	if got, want := FormatRows(rows1b), FormatRows(rows1); got != want {
+		t.Errorf("same storm twice differs:\n run1:\n%s\n run2:\n%s", want, got)
+	}
+	if got, want := FormatRows(rows4), FormatRows(rows1); got != want {
+		t.Errorf("-j4 differs from -j1:\n j1:\n%s\n j4:\n%s", want, got)
+	}
+	if !reflect.DeepEqual(tree1b, tree1) {
+		t.Error("same storm twice: telemetry trace trees differ")
+	}
+	if !reflect.DeepEqual(tree4, tree1) {
+		t.Error("-j4 telemetry trace tree differs from -j1")
+	}
+	if len(tree1) == 0 {
+		t.Fatal("no trace files exported")
+	}
+}
+
+// TestScenarioSeedPermutationInvariance: replicate seeds are a set — the
+// aggregated per-scheme rows must not depend on seed order.
+func TestScenarioSeedPermutationInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario runs are slow; skipping in -short")
+	}
+	fwd := stormSpec(t)
+	rev := stormSpec(t)
+	rev.Seeds = []int64{2, 1}
+	a := RunScenario(fwd, ScenarioOpts{Parallelism: 2}, nil)
+	b := RunScenario(rev, ScenarioOpts{Parallelism: 2}, nil)
+	if got, want := FormatRows(b), FormatRows(a); got != want {
+		t.Errorf("seed order changed the aggregate:\n {1,2}:\n%s\n {2,1}:\n%s", want, got)
+	}
+}
+
+// TestScenarioStormUnderOracle: RunScenario panics on any oracle violation,
+// so this run passing means conservation held through every mid-flap
+// teardown and re-route of the storm (and the event queue drained clean).
+func TestScenarioStormUnderOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario runs are slow; skipping in -short")
+	}
+	sp := stormSpec(t)
+	sp.Seeds = []int64{1}
+	rows := RunScenario(sp, ScenarioOpts{Parallelism: 1, Oracle: true}, nil)
+	if len(rows) != len(sp.Schemes) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(sp.Schemes))
+	}
+	for _, r := range rows {
+		if r.Samples == 0 {
+			t.Errorf("%s: no flows completed under the storm", r.Scheme)
+		}
+	}
+}

@@ -51,6 +51,12 @@ func (d *DRE) decayTo(now sim.Time) {
 	d.lastDecay += sim.Time(steps) * d.tdre
 }
 
+// SetRate rebases the estimator on a new link capacity. The discounted byte
+// register is kept: utilization readings immediately renormalize against the
+// new rate, which is exactly what a downgraded link should report (the same
+// traffic is now a larger fraction of capacity).
+func (d *DRE) SetRate(rateBps int64) { d.rateBps = rateBps }
+
 // Add records size bytes transmitted now.
 func (d *DRE) Add(size int) {
 	d.decayTo(d.sim.Now())

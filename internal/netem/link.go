@@ -123,6 +123,19 @@ func (l *Link) Delay() sim.Time { return l.delay }
 // Up reports whether the link is administratively up.
 func (l *Link) Up() bool { return l.up }
 
+// SetRateBps changes the link rate (scenario speed downgrades: a negotiated
+// 40G->10G step-down, a failing optic). The new rate applies from the next
+// serialization; the packet currently on the serializer keeps the timing it
+// was scheduled with. The DRE capacity follows so utilization stays
+// normalized to the current rate.
+func (l *Link) SetRateBps(rate int64) {
+	if rate <= 0 {
+		panic(fmt.Sprintf("netem: link rate %d", rate))
+	}
+	l.rate = rate
+	l.dre.SetRate(rate)
+}
+
 // QueueLen returns the instantaneous number of queued packets (not counting
 // the one currently serializing).
 func (l *Link) QueueLen() int { return l.qlen }

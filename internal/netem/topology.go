@@ -57,6 +57,16 @@ func (t *Topology) LinkByID(id packet.LinkID) *Link { return t.links[id] }
 // LinkByName returns the link named "From->To#k", or nil.
 func (t *Topology) LinkByName(name string) *Link { return t.byName[name] }
 
+// SwitchByName returns the switch with the builder-assigned name, or nil.
+func (t *Topology) SwitchByName(name string) *Switch {
+	for _, sw := range t.switches {
+		if sw.name == name {
+			return sw
+		}
+	}
+	return nil
+}
+
 // AddSwitch creates a switch. The per-switch ECMP hash seed is derived
 // deterministically from the node ID so that runs are reproducible while
 // different switches still hash differently.
@@ -128,6 +138,42 @@ func (t *Topology) SetLinkPairUp(a, b string, trunk int, up bool) {
 	} else {
 		t.ComputeRoutes()
 	}
+}
+
+// SetSwitchUp changes the state of every link adjacent to the named switch
+// (both directions), modelling a whole-switch failure or recovery, then
+// recomputes routing once (after RouteRecomputeDelay if configured). It
+// panics if the switch does not exist: failing a nonexistent switch is
+// always a test-configuration bug.
+func (t *Topology) SetSwitchUp(name string, up bool) {
+	sw := t.SwitchByName(name)
+	if sw == nil {
+		panic(fmt.Sprintf("netem: no switch %q", name))
+	}
+	for _, l := range t.links {
+		if l.from == sw.id || l.to.ID() == sw.id {
+			l.SetUp(up)
+		}
+	}
+	if t.RouteRecomputeDelay > 0 {
+		t.Sim.After(t.RouteRecomputeDelay, t.ComputeRoutes)
+	} else {
+		t.ComputeRoutes()
+	}
+}
+
+// SetLinkPairRate changes the rate of both directions of the trunk-th link
+// pair between switches named a and b (scenario speed downgrades). It panics
+// if the pair does not exist.
+func (t *Topology) SetLinkPairRate(a, b string, trunk int, rateBps int64) {
+	n1 := fmt.Sprintf("%s->%s#%d", a, b, trunk)
+	n2 := fmt.Sprintf("%s->%s#%d", b, a, trunk)
+	l1, l2 := t.byName[n1], t.byName[n2]
+	if l1 == nil || l2 == nil {
+		panic(fmt.Sprintf("netem: no link pair %s / %s", n1, n2))
+	}
+	l1.SetRateBps(rateBps)
+	l2.SetRateBps(rateBps)
 }
 
 // ComputeRoutes rebuilds every switch's ECMP table: for each destination
@@ -212,9 +258,21 @@ type LeafSpineConfig struct {
 	HostsPerLeaf  int
 	HostRateBps   int64
 	TrunkRateBps  int64
-	LinkDelay     sim.Time // per-hop propagation delay
-	QueueCap      int
-	ECNK          int // switch ECN marking threshold (packets)
+	LinkDelay     sim.Time // per-hop propagation delay (edge: host<->leaf)
+	// TrunkDelay is the per-hop propagation delay of the leaf<->spine tier;
+	// zero means LinkDelay (the paper's single-delay fabric). Scenario specs
+	// use it for per-tier latency asymmetry.
+	TrunkDelay sim.Time
+	QueueCap   int
+	ECNK       int // switch ECN marking threshold (packets)
+}
+
+// trunkDelay resolves the fabric-tier delay default.
+func (cfg LeafSpineConfig) trunkDelay() sim.Time {
+	if cfg.TrunkDelay > 0 {
+		return cfg.TrunkDelay
+	}
+	return cfg.LinkDelay
 }
 
 // PaperTestbed returns the evaluation topology of Sec. 5 at the given rate
@@ -267,7 +325,7 @@ func BuildLeafSpine(s *sim.Simulator, cfg LeafSpineConfig) *LeafSpine {
 	for i := 0; i < cfg.Spines; i++ {
 		ls.Spines = append(ls.Spines, t.AddSwitch(fmt.Sprintf("S%d", i+1)))
 	}
-	trunkCfg := LinkConfig{RateBps: cfg.TrunkRateBps, Delay: cfg.LinkDelay, QueueCap: cfg.QueueCap, ECNK: cfg.ECNK}
+	trunkCfg := LinkConfig{RateBps: cfg.TrunkRateBps, Delay: cfg.trunkDelay(), QueueCap: cfg.QueueCap, ECNK: cfg.ECNK}
 	for _, lf := range ls.Leaves {
 		for _, sp := range ls.Spines {
 			for k := 0; k < cfg.TrunksPerPair; k++ {
@@ -295,9 +353,10 @@ func (ls *LeafSpine) FailPaperLink() {
 // BaseRTT estimates the unloaded round-trip time between hosts on different
 // leaves: 4 hops each way plus negligible serialization.
 func (ls *LeafSpine) BaseRTT() sim.Time {
-	// host->leaf->spine->leaf->host and back: 8 propagation delays, plus
-	// 8 serializations of an MTU packet (dominated by host links).
-	prop := 8 * ls.Cfg.LinkDelay
+	// host->leaf->spine->leaf->host and back: 4 edge + 4 fabric propagation
+	// delays, plus 8 serializations of an MTU packet (dominated by host
+	// links).
+	prop := 4*ls.Cfg.LinkDelay + 4*ls.Cfg.trunkDelay()
 	ser := 4*sim.TransmissionTime(packet.MTU+packet.EncapHeaderLen, ls.Cfg.HostRateBps) +
 		4*sim.TransmissionTime(packet.MTU+packet.EncapHeaderLen, ls.Cfg.TrunkRateBps)
 	return prop + ser

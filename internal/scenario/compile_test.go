@@ -1,0 +1,153 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTopoConfigDerivation pins the fat-tree -> leaf-spine lowering: spine
+// count, scaled rates, and oversubscription thinning of the trunk tier.
+func TestTopoConfigDerivation(t *testing.T) {
+	sp := &Spec{
+		Name:     "derive",
+		Topology: TopologySpec{K: 8, Oversubscription: 2},
+		Workload: WorkloadSpec{Load: 0.5, TotalJobs: 100, Mix: MixFractions{WebSearch: 1}},
+		Schemes:  []string{"ecmp"},
+	}
+	sp.ApplyDefaults()
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := sp.TopoConfig()
+	if cfg.Leaves != 2 {
+		t.Errorf("Leaves = %d, want 2", cfg.Leaves)
+	}
+	if cfg.Spines != 4 {
+		t.Errorf("Spines = %d, want k/2 = 4", cfg.Spines)
+	}
+	if cfg.HostsPerLeaf != 4 {
+		t.Errorf("HostsPerLeaf = %d, want 4", cfg.HostsPerLeaf)
+	}
+	// 10 Gbps x 0.01 rate scale = 100 Mbps access links.
+	if cfg.HostRateBps != 100_000_000 {
+		t.Errorf("HostRateBps = %d, want 1e8", cfg.HostRateBps)
+	}
+	// 4 hosts x 1e8 spread over 4 spines, thinned 2:1 -> 5e7 per trunk.
+	if cfg.TrunkRateBps != 50_000_000 {
+		t.Errorf("TrunkRateBps = %d, want 5e7", cfg.TrunkRateBps)
+	}
+	if cfg.LinkDelay != usToSim(5) || cfg.TrunkDelay != usToSim(5) {
+		t.Errorf("delays = %v/%v, want 5us each", cfg.LinkDelay, cfg.TrunkDelay)
+	}
+}
+
+// TestStormExpansion pins the exact flap schedule a storm lowers to: links
+// staggered across one period, down for half a period at a time, final
+// recovery clamped to the storm end.
+func TestStormExpansion(t *testing.T) {
+	l1 := LinkRef{A: "L1", B: "S1"}
+	l2 := LinkRef{A: "L1", B: "S2"}
+	sp := &Spec{
+		Name:     "storm-x",
+		Topology: TopologySpec{K: 4},
+		Workload: WorkloadSpec{Load: 0.5, TotalJobs: 100, Mix: MixFractions{WebSearch: 1}},
+		Schemes:  []string{"ecmp"},
+		Events: []EventSpec{{
+			AtMs: 1000, Type: EventStorm,
+			Storm: &StormSpec{Links: []LinkRef{l1, l2}, PeriodMs: 100, DurationMs: 300},
+		}},
+	}
+	sp.ApplyDefaults()
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	down := func(ms float64, l LinkRef) Action {
+		return Action{At: msToSim(ms), Kind: ActionLinkDown, Link: l}
+	}
+	up := func(ms float64, l LinkRef) Action {
+		return Action{At: msToSim(ms), Kind: ActionLinkUp, Link: l}
+	}
+	want := []Action{
+		down(1000, l1),
+		up(1050, l1), down(1050, l2),
+		down(1100, l1), up(1100, l2),
+		up(1150, l1), down(1150, l2),
+		down(1200, l1), up(1200, l2),
+		up(1250, l1), down(1250, l2),
+		up(1300, l2), // clamped to the storm end: fabric leaves healed
+	}
+	got := sp.Actions()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("storm schedule mismatch:\n got:  %v\n want: %v", got, want)
+	}
+	// Every link must end the storm up: last action per link is a link-up.
+	last := map[LinkRef]ActionKind{}
+	for _, a := range got {
+		last[a.Link] = a.Kind
+	}
+	for l, k := range last {
+		if k != ActionLinkUp {
+			t.Errorf("link %v leaves the storm in state %v, want link-up", l, k)
+		}
+	}
+}
+
+// TestActionsSortedStable: mixed event types expand into a time-sorted
+// timeline, with authoring order breaking ties.
+func TestActionsSortedStable(t *testing.T) {
+	sp := baseSpec()
+	sp.Events = []EventSpec{
+		{AtMs: 500, Type: EventLoadScale, Scale: 2},
+		{AtMs: 100, Type: EventLinkDown, Link: link("L2", "S1", 0)},
+		{AtMs: 100, Type: EventSwitchDown, Switch: "S2"},
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := sp.Actions()
+	want := []Action{
+		{At: msToSim(100), Kind: ActionLinkDown, Link: LinkRef{A: "L2", B: "S1"}},
+		{At: msToSim(100), Kind: ActionSwitchDown, Switch: "S2"},
+		{At: msToSim(500), Kind: ActionLoadScale, Scale: 2},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("timeline mismatch:\n got:  %v\n want: %v", got, want)
+	}
+}
+
+// TestQuickCaps: Quick shrinks to CI scale without mutating the original.
+func TestQuickCaps(t *testing.T) {
+	sp := &Spec{
+		Name:     "big",
+		Topology: TopologySpec{K: 32, HostsPerLeaf: 16},
+		Workload: WorkloadSpec{
+			Load: 0.5, TotalJobs: 10000,
+			Mix: MixFractions{WebSearch: 0.5, Incast: 0.5}, IncastFanout: 16,
+		},
+		Schemes: []string{"ecmp"},
+		Seeds:   []int64{1, 2, 3},
+	}
+	sp.ApplyDefaults()
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	q := sp.Quick()
+	if q.Topology.HostsPerLeaf != 4 {
+		t.Errorf("quick hosts = %d, want 4", q.Topology.HostsPerLeaf)
+	}
+	if q.Workload.TotalJobs != 240 {
+		t.Errorf("quick jobs = %d, want 240", q.Workload.TotalJobs)
+	}
+	if len(q.Seeds) != 1 {
+		t.Errorf("quick seeds = %v, want one", q.Seeds)
+	}
+	if q.Workload.IncastFanout != 4 {
+		t.Errorf("quick fanout = %d, want clamped to 4", q.Workload.IncastFanout)
+	}
+	if err := q.Validate(); err != nil {
+		t.Errorf("quick spec invalid: %v", err)
+	}
+	if sp.Topology.HostsPerLeaf != 16 || sp.Workload.TotalJobs != 10000 || len(sp.Seeds) != 3 {
+		t.Error("Quick mutated the original spec")
+	}
+}

@@ -1,0 +1,54 @@
+package scenario
+
+import (
+	"io/fs"
+	"reflect"
+	"strings"
+	"testing"
+
+	"clove/scenarios"
+)
+
+// FuzzScenarioParse: Parse must never panic, and any input it accepts must
+// survive Marshal -> Parse unchanged (the round-trip stability contract the
+// embedded library and -scenario files rely on).
+func FuzzScenarioParse(f *testing.F) {
+	entries, err := fs.ReadDir(scenarios.FS, ".")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, ent := range entries {
+		if !strings.HasSuffix(ent.Name(), ".json") {
+			continue
+		}
+		data, err := fs.ReadFile(scenarios.FS, ent.Name())
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","topology":{"k":4}}`))
+	f.Add([]byte(`{"name":"a","topology":{"k":4},"workload":{"load":0.5,"total_jobs":10,"mix":{"web_search":1}},"schemes":["ecmp"]}`))
+	f.Add([]byte(`{"name":"a","topology":{"k":1e300},"workload":{"load":1e-300}}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"name":"a","events":[{"at_ms":1,"type":"storm","storm":{"links":[{"a":"L1","b":"S1"}],"period_ms":1,"duration_ms":2}}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := Parse(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		out, err := sp.Marshal()
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		sp2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("marshaled spec does not reparse: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(sp, sp2) {
+			t.Fatalf("round trip changed the spec:\n before: %+v\n after:  %+v", sp, sp2)
+		}
+	})
+}

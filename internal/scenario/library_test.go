@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"testing/fstest"
+
+	"clove/scenarios"
+)
+
+// TestEmbeddedLibrary: the shipped library loads, is big enough, and follows
+// the name-matches-filename convention (so -list-scenarios and the files on
+// disk stay in sync).
+func TestEmbeddedLibrary(t *testing.T) {
+	lib, err := LoadLibrary(scenarios.FS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib) < 10 {
+		t.Errorf("embedded library has %d scenarios, want >= 10", len(lib))
+	}
+	entries, err := fs.ReadDir(scenarios.FS, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if !strings.HasSuffix(ent.Name(), ".json") {
+			continue
+		}
+		data, err := fs.ReadFile(scenarios.FS, ent.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: %v", ent.Name(), err)
+		}
+		if want := strings.TrimSuffix(ent.Name(), ".json"); sp.Name != want {
+			t.Errorf("%s declares name %q, want %q (name must match filename)", ent.Name(), sp.Name, want)
+		}
+		if sp.Description == "" {
+			t.Errorf("%s: missing description (shown by -list-scenarios)", ent.Name())
+		}
+	}
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	if len(names) != len(lib) {
+		t.Errorf("Names() has %d entries, library %d", len(names), len(lib))
+	}
+}
+
+const minimalSpec = `{
+  "name": "%s",
+  "topology": {"k": 4},
+  "workload": {"load": 0.5, "total_jobs": 10, "mix": {"web_search": 1}},
+  "schemes": ["ecmp"]
+}`
+
+func specJSON(name string) []byte {
+	return []byte(strings.Replace(minimalSpec, "%s", name, 1))
+}
+
+func TestLoadLibraryDuplicateName(t *testing.T) {
+	fsys := fstest.MapFS{
+		"a.json": {Data: specJSON("dup-name")},
+		"b.json": {Data: specJSON("dup-name")},
+	}
+	_, err := LoadLibrary(fsys)
+	if err == nil {
+		t.Fatal("LoadLibrary accepted two files with the same scenario name")
+	}
+	want := `scenario: duplicate scenario name "dup-name" (a.json and b.json)`
+	if err.Error() != want {
+		t.Errorf("error mismatch:\n got: %s\nwant: %s", err, want)
+	}
+}
+
+func TestLoadLibraryBadFile(t *testing.T) {
+	fsys := fstest.MapFS{
+		"broken.json": {Data: []byte(`{"name":"broken","topology":{"k":3}}`)},
+	}
+	_, err := LoadLibrary(fsys)
+	if err == nil || !strings.Contains(err.Error(), "scenario library broken.json:") {
+		t.Errorf("want a scenario-library-prefixed error, got %v", err)
+	}
+}
+
+func TestLoadByNameAndPath(t *testing.T) {
+	// Embedded name wins, and Load hands back a private copy.
+	sp, err := Load("baseline-symmetric")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Workload.Load = 0.001
+	again, err := Load("baseline-symmetric")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Workload.Load == 0.001 {
+		t.Error("Load returned a shared spec: mutation leaked into the library")
+	}
+
+	// A path to a spec file on disk also resolves.
+	path := filepath.Join(t.TempDir(), "mine.json")
+	if err := os.WriteFile(path, specJSON("my-local-spec"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "my-local-spec" {
+		t.Errorf("loaded name = %q, want my-local-spec", got.Name)
+	}
+
+	// Neither a name nor a file: the error lists the embedded library.
+	_, err = Load("no-such-scenario")
+	if err == nil || !strings.Contains(err.Error(), "neither an embedded scenario") ||
+		!strings.Contains(err.Error(), "baseline-symmetric") {
+		t.Errorf("want a neither-name-nor-file error listing the library, got %v", err)
+	}
+}

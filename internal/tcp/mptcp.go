@@ -79,6 +79,17 @@ func (m *MPSender) HandleAck(pkt *packet.Packet) {
 	m.checkDone()
 }
 
+// Abort tears down every subflow and drops queued jobs (their done
+// callbacks never fire); see Sender.Abort. Idempotent.
+func (m *MPSender) Abort() {
+	for _, sub := range m.subflows {
+		sub.Abort()
+	}
+	m.jobs = nil
+	// Stop the scheduler from assigning undispatched bytes.
+	m.totalSize = m.pendingBytes
+}
+
 // StartJob appends an application transfer of size bytes.
 func (m *MPSender) StartJob(size int64, done func(fct sim.Time)) {
 	m.totalSize += size

@@ -66,6 +66,9 @@ type Sender struct {
 	rtoActive  bool
 	rtoBackoff int
 
+	// aborted marks a torn-down sender: no new data, no timer re-arming.
+	aborted bool
+
 	// ECN.
 	lastECNCut sim.Time
 	sendCWR    bool
@@ -125,6 +128,22 @@ func (s *Sender) SetTrace(tr *telemetry.Tracer) {
 // Idle reports whether the sender has nothing outstanding and nothing queued.
 func (s *Sender) Idle() bool { return s.sndUna == s.sndLimit }
 
+// Abort tears the sender down mid-stream: the retransmission timer is
+// cancelled, queued jobs are dropped (their done callbacks never fire), and
+// unsent bytes are discarded, so an abandoned connection — say one whose
+// only path's switch failed — stops injecting retransmissions and the event
+// queue can drain. Late ACKs are still consumed harmlessly, but never re-arm
+// the timer or emit data. Abort is idempotent.
+func (s *Sender) Abort() {
+	s.aborted = true
+	s.stopRTO()
+	s.jobs = nil
+	s.sndLimit = s.sndNxt
+}
+
+// Aborted reports whether Abort was called.
+func (s *Sender) Aborted() bool { return s.aborted }
+
 // StartJob appends size bytes to the stream. done (optional) fires when the
 // last byte is acknowledged, with the flow completion time measured from
 // this call. Jobs queued behind earlier jobs include the queueing delay in
@@ -132,6 +151,11 @@ func (s *Sender) Idle() bool { return s.sndUna == s.sndLimit }
 func (s *Sender) StartJob(size int64, done func(fct sim.Time)) {
 	if size <= 0 {
 		panic(fmt.Sprintf("tcp: job size %d", size))
+	}
+	if s.aborted {
+		// Teardown races benignly with already-scheduled arrivals; the job
+		// is silently dropped, like writes on a closed socket.
+		return
 	}
 	if s.cfg.SlowStartAfterIdle && s.Idle() {
 		idle := s.sim.Now() - s.lastSendTime
@@ -361,6 +385,9 @@ func (s *Sender) currentRTO() sim.Time {
 func senderRTO(a, _ any) { a.(*Sender).onRTO() }
 
 func (s *Sender) restartRTO() {
+	if s.aborted {
+		return
+	}
 	s.stopRTO()
 	s.rtoActive = true
 	s.rtoTimer = s.sim.AfterCall(s.currentRTO(), senderRTO, s, nil)

@@ -96,6 +96,23 @@ func DataMining() *EmpiricalCDF {
 	})
 }
 
+// CacheFollower returns an RPC-style flow-size distribution modelled on the
+// published cache-follower traffic of a large social-network datacenter:
+// dominated by sub-kilobyte request/response pairs, with a thin tail of
+// larger object fetches. It is the "RPC" component of scenario workload
+// mixes — latency-bound mice against which the web-search elephants compete.
+func CacheFollower() *EmpiricalCDF {
+	return mustCDF("cache-follower", []CDFPoint{
+		{350, 0.50},
+		{1e3, 0.70},
+		{5e3, 0.80},
+		{50e3, 0.90},
+		{500e3, 0.97},
+		{2e6, 0.99},
+		{10e6, 1.00},
+	})
+}
+
 // Name returns the distribution's name.
 func (c *EmpiricalCDF) Name() string { return c.name }
 

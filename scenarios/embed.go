@@ -1,0 +1,13 @@
+// Package scenarios embeds the repository's named scenario library: one
+// JSON spec per file, loaded and validated by internal/scenario. Add a
+// scenario by dropping a new .json here (the spec's name conventionally
+// matches the filename) and regenerating its golden with
+// `go test -run TestScenarioGoldens -update`.
+package scenarios
+
+import "embed"
+
+// FS holds every shipped scenario spec.
+//
+//go:embed *.json
+var FS embed.FS
