@@ -34,14 +34,15 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate (4b..9, summary, all)")
-		scen      = flag.String("scenario", "", "run a declarative scenario instead of a figure: an embedded name (see -list-scenarios) or a spec-file path")
-		listScen  = flag.Bool("list-scenarios", false, "list the embedded scenario library and exit")
-		scale     = flag.String("scale", "standard", "run scale: quick | standard | paper")
-		load      = flag.Float64("load", 0.7, "network load for -fig summary")
-		verbose   = flag.Bool("v", false, "stream per-run progress")
-		workers   = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial); output is identical for any -j")
-		useOracle = flag.Bool("oracle", false, "run every simulation under the correctness oracle (see EXPERIMENTS.md \"Correctness\"); panics on any invariant violation")
+		fig        = flag.String("fig", "all", "figure to regenerate (4b..9, summary, all)")
+		scen       = flag.String("scenario", "", "run a declarative scenario instead of a figure: an embedded name (see -list-scenarios) or a spec-file path")
+		listScen   = flag.Bool("list-scenarios", false, "list the embedded scenario library and exit")
+		scale      = flag.String("scale", "standard", "run scale: quick | standard | paper")
+		load       = flag.Float64("load", 0.7, "network load for -fig summary")
+		verbose    = flag.Bool("v", false, "stream per-run progress")
+		workers    = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial); output is identical for any -j")
+		domWorkers = flag.Int("workers", 0, "event-domain workers inside each sharded (leaves > 2) scenario run (0/1 = serial); output is identical for any -workers")
+		useOracle  = flag.Bool("oracle", false, "run every simulation under the correctness oracle (see EXPERIMENTS.md \"Correctness\"); panics on any invariant violation")
 
 		// Telemetry (see EXPERIMENTS.md "Telemetry & tracing").
 		traceDir      = flag.String("trace", "", "export per-run telemetry traces (JSONL+CSV) under this directory")
@@ -118,6 +119,7 @@ func main() {
 		}
 	}
 	sc.Parallelism = *workers
+	sc.DomainWorkers = *domWorkers
 	sc.Oracle = *useOracle
 	if *traceDir != "" {
 		sc.Telemetry = &clove.TraceSpec{
@@ -150,10 +152,11 @@ func main() {
 			os.Exit(2)
 		}
 		rows := clove.RunScenario(sp, clove.ScenarioOpts{
-			Quick:       *scale == "quick",
-			Parallelism: *workers,
-			Oracle:      *useOracle,
-			Telemetry:   sc.Telemetry,
+			Quick:         *scale == "quick",
+			Parallelism:   *workers,
+			Oracle:        *useOracle,
+			Telemetry:     sc.Telemetry,
+			DomainWorkers: *domWorkers,
 		}, progress)
 		fmt.Print(clove.FormatRows(rows))
 		return

@@ -110,12 +110,29 @@ type Config struct {
 	// FreezeWeights disables Clove weight adaptation (WeightTableConfig
 	// .Frozen) — differential tests only.
 	FreezeWeights bool
+	// Domains shards the cluster across event domains (one per leaf, one per
+	// spine) on a sim.Engine instead of one Simulator; RunMix then uses the
+	// all-to-all sharded driver (mixdomains.go). Implied — and forced — for
+	// topologies with more than two leaves, which the legacy two-leaf driver
+	// cannot run. Results are bit-identical at any DomainWorkers but are a
+	// different (sharded) simulation than single-sim mode at the same seed.
+	Domains bool
+	// DomainWorkers is how many OS threads execute domain windows in sharded
+	// mode (<=1 = serial). Any value produces identical results.
+	DomainWorkers int
+	// ServersPerClient caps each client's persistent-connection fan-out in
+	// the sharded mix driver (0 = min(32, hosts on other leaves)); the
+	// legacy driver's full two-leaf mesh would be quadratic at 1024 hosts.
+	ServersPerClient int
 }
 
 // Cluster is a fully wired deployment ready to run workloads.
 type Cluster struct {
 	Cfg Config
+	// Sim is the single Simulator in legacy mode; nil in sharded mode.
 	Sim *sim.Simulator
+	// Eng is the sharded engine in domain mode; nil in legacy mode.
+	Eng *sim.Engine
 	LS  *netem.LeafSpine
 
 	VSwitches []*vswitch.VSwitch
@@ -135,7 +152,15 @@ type Cluster struct {
 
 	// loadScale multiplies every mix-workload arrival rate; scenario
 	// load-ramp events change it mid-run (see RunMix and SetLoadScale).
+	// In sharded mode it is written only at engine barriers and read by
+	// domain windows after them, so no synchronization is needed.
 	loadScale float64
+
+	// Sharded-mode state: per-domain tracers (domain order) and per-domain
+	// connection lists (by client's domain, open order) for race-free,
+	// deterministic telemetry sampling.
+	domTraces []*telemetry.Tracer
+	domConns  [][]*Conn
 }
 
 type connKey struct {
@@ -149,6 +174,12 @@ type connKey struct {
 func New(cfg Config) *Cluster {
 	if cfg.Topo.Leaves == 0 {
 		cfg.Topo = netem.PaperTestbed(0.01)
+	}
+	if cfg.Topo.Leaves > 2 {
+		cfg.Domains = true
+	}
+	if cfg.Domains {
+		return newSharded(cfg)
 	}
 	if cfg.PathsK == 0 {
 		cfg.PathsK = 4
@@ -291,6 +322,9 @@ func (c *Cluster) Quiesce() {
 		pr.Stop()
 	}
 	c.Trace.Stop()
+	for _, tr := range c.domTraces {
+		tr.Stop()
+	}
 }
 
 // needsPaths reports whether the scheme consumes discovered path sets.
@@ -308,6 +342,9 @@ func (c *Cluster) CheckOracle() error {
 	if c.Oracle == nil {
 		return nil
 	}
+	if c.Eng != nil {
+		return c.Oracle.Check(c.Eng.Pending())
+	}
 	return c.Oracle.Check(c.Sim.Pending())
 }
 
@@ -324,11 +361,16 @@ func (c *Cluster) SetupPaths(pairs [][2]packet.HostID) {
 			dcfg.Interval = c.Cfg.ProbeInterval
 		}
 		bySrc := map[packet.HostID][]packet.HostID{}
+		var srcs []packet.HostID // first-appearance order: prober start order must be deterministic
 		for _, p := range pairs {
+			if _, ok := bySrc[p[0]]; !ok {
+				srcs = append(srcs, p[0])
+			}
 			bySrc[p[0]] = append(bySrc[p[0]], p[1])
 		}
-		for src, dsts := range bySrc {
-			pr := discovery.NewProber(c.Sim, c.VSwitches[src], dcfg)
+		for _, src := range srcs {
+			dsts := bySrc[src]
+			pr := discovery.NewProber(c.simFor(src), c.VSwitches[src], dcfg)
 			if c.Cfg.Scheme == SchemePresto && c.Cfg.PrestoIdealWeights {
 				pr.OnPaths = func(dst packet.HostID, ports []uint16, paths []discovery.Path) {
 					c.installPrestoWeights(src, dst, ports, paths)

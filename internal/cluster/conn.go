@@ -35,31 +35,45 @@ func (c *Cluster) OpenConn(client, server packet.HostID, idx int) *Conn {
 	conn := &Conn{Client: client, Server: server, Flow: flow}
 	cvs, svs := c.VSwitches[client], c.VSwitches[server]
 
+	// Each endpoint lives on its host's Simulator and draws from its host's
+	// pool. In legacy mode both resolve to the cluster-wide Sim and the
+	// topology's shared pool, so this is behavior-identical there; in
+	// sharded mode they are the endpoint's domain Sim and pool.
+	cs, ss := c.simFor(client), c.simFor(server)
+	ccfg, scfg := c.tcpCfg, c.tcpCfg
+	ccfg.Pool = c.poolFor(client)
+	scfg.Pool = c.poolFor(server)
+
 	if c.Cfg.Scheme == SchemeMPTCP {
-		mp := tcp.NewMPSender(c.Sim, c.tcpCfg, flow, c.Cfg.MPTCPSubflows, cvs.FromVM)
+		mp := tcp.NewMPSender(cs, ccfg, flow, c.Cfg.MPTCPSubflows, cvs.FromVM)
 		for _, sub := range mp.Subflows() {
 			sf := sub.Flow()
-			rcv := tcp.NewReceiver(c.Sim, c.tcpCfg, sf, svs.FromVM)
+			rcv := tcp.NewReceiver(ss, scfg, sf, svs.FromVM)
 			svs.Register(sf, rcv.HandleData)
 			cvs.Register(sf.Reverse(), mp.HandleAck)
 		}
 		conn.mp = mp
 	} else {
-		snd := tcp.NewSender(c.Sim, c.tcpCfg, flow, cvs.FromVM)
-		rcv := tcp.NewReceiver(c.Sim, c.tcpCfg, flow, svs.FromVM)
+		snd := tcp.NewSender(cs, ccfg, flow, cvs.FromVM)
+		rcv := tcp.NewReceiver(ss, scfg, flow, svs.FromVM)
 		svs.Register(flow, rcv.HandleData)
 		cvs.Register(flow.Reverse(), snd.HandleAck)
 		conn.snd = snd
 	}
+	tr := c.traceFor(client)
 	if conn.mp != nil {
 		for _, sub := range conn.mp.Subflows() {
-			sub.SetTrace(c.Trace)
+			sub.SetTrace(tr)
 		}
 	} else {
-		conn.snd.SetTrace(c.Trace)
+		conn.snd.SetTrace(tr)
 	}
 	c.conns[key] = conn
 	c.connList = append(c.connList, conn)
+	if c.domConns != nil {
+		id := c.domFor(client).ID()
+		c.domConns[id] = append(c.domConns[id], conn)
+	}
 	return conn
 }
 

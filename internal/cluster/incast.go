@@ -36,6 +36,9 @@ func (c *Cluster) RunIncast(p IncastParams) IncastResult {
 	if p.Fanout <= 0 || p.Requests <= 0 || p.ResponseBytes <= 0 {
 		panic("cluster: incast parameters must be positive")
 	}
+	if c.Eng != nil {
+		panic("cluster: RunIncast is single-sim only; domain-mode clusters run workloads through RunMix (FracIncast)")
+	}
 	if p.MaxSimTime == 0 {
 		p.MaxSimTime = 600 * sim.Second
 	}

@@ -70,6 +70,9 @@ const (
 // load ramps on c.Sim before calling RunMix; SetLoadScale takes effect on
 // every inter-arrival gap drawn after the ramp fires.
 func (c *Cluster) RunMix(p MixParams) MixResult {
+	if c.Eng != nil {
+		return c.runMixDomains(p)
+	}
 	if p.SizeScale == 0 {
 		p.SizeScale = 1
 	}

@@ -44,6 +44,9 @@ type WebSearchResult struct {
 // RunWebSearch drives the workload to completion and records every job's
 // FCT in c.Recorder. Clients are the hosts of leaf 1, servers of leaf 2.
 func (c *Cluster) RunWebSearch(p WebSearchParams) WebSearchResult {
+	if c.Eng != nil {
+		panic("cluster: RunWebSearch is single-sim only; domain-mode clusters run workloads through RunMix")
+	}
 	if p.ConnsPerClient == 0 {
 		p.ConnsPerClient = 1
 	}

@@ -37,6 +37,12 @@ type Scale struct {
 	IncastBytes    int64
 	MaxSimTime     sim.Time
 
+	// DomainWorkers is the engine worker count inside each sharded
+	// (leaves > 2) scenario run; 0/1 runs the conservative windows
+	// serially. Orthogonal to Parallelism (workers across runs) and, like
+	// it, never changes output bytes.
+	DomainWorkers int
+
 	// Parallelism bounds the worker pool running independent (scheme,
 	// load, seed) jobs: 0 means GOMAXPROCS, 1 forces a serial run. Any
 	// value produces byte-identical FormatRows output for the same seeds

@@ -24,6 +24,10 @@ type ScenarioOpts struct {
 	Oracle bool
 	// Telemetry, when non-nil, exports each run's trace under its Dir.
 	Telemetry *TraceSpec
+	// DomainWorkers is the per-run engine worker count on sharded
+	// (leaves > 2) scenarios: 0/1 = serial windows, N = N workers. Like
+	// Parallelism it never changes output bytes, only wall-clock time.
+	DomainWorkers int
 }
 
 func (o ScenarioOpts) workers() int {
@@ -45,7 +49,7 @@ func RunScenario(sp *scenario.Spec, opts ScenarioOpts, progress io.Writer) []Row
 		scheme := sp.Schemes[i/len(seeds)]
 		seed := seeds[i%len(seeds)]
 		start := time.Now()
-		c := cluster.New(sp.ClusterConfig(scheme, seed, opts.Oracle, opts.Telemetry.config()))
+		c := cluster.New(sp.ClusterConfig(scheme, seed, opts.Oracle, opts.Telemetry.config(), opts.DomainWorkers))
 		sp.InstallEvents(c)
 		res := c.RunMix(sp.MixParams())
 		if err := c.CheckOracle(); err != nil {
@@ -55,7 +59,7 @@ func RunScenario(sp *scenario.Spec, opts ScenarioOpts, progress io.Writer) []Row
 			point := fmt.Sprintf("load%03d", int(sp.Workload.Load*100+0.5))
 			dir := filepath.Join(opts.Telemetry.Dir,
 				traceRunDir("scn-"+sp.Name, cluster.Scheme(scheme), "", point, seed))
-			if err := c.Trace.Export(dir); err != nil {
+			if err := c.ExportTraces(dir); err != nil {
 				panic(fmt.Sprintf("%s %s seed=%d: trace export: %v", figure, scheme, seed, err))
 			}
 		}

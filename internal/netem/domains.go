@@ -1,0 +1,174 @@
+package netem
+
+import (
+	"fmt"
+
+	"clove/internal/packet"
+	"clove/internal/sim"
+)
+
+// Sharded construction: one Topology spread across the event domains of a
+// sim.Engine. Every node (switch or host) is owned by exactly one domain and
+// schedules only on that domain's Simulator; every link lives in its source
+// node's domain (queue, serializer, DRE), and a link whose endpoints sit in
+// different domains becomes a cross-domain channel — its propagation stage
+// is a Domain.Post with delay >= the engine lookahead instead of a local
+// event. Each domain also gets its own packet.Pool, so the per-hop
+// alloc-free recycling never crosses a thread boundary; a packet that
+// crosses domains is simply recycled into the receiving domain's pool
+// (pools are plain free lists — buffers migrate, ownership stays
+// single-threaded).
+//
+// Ownership rules for cross-domain packets:
+//
+//   - the source domain owns the packet until the propagation Post fires;
+//     after Post is buffered the source must not touch it again;
+//   - the destination domain owns it from delivery on, including returning
+//     it to (its own) pool;
+//   - link administrative state (SetUp, SetRateBps) and route recomputation
+//     mutate both sides, so they are legal only at engine barriers (global
+//     events) — which is where scenario actions already run.
+
+// enterDomain directs subsequent AddSwitch/AddHost calls at d.
+func (t *Topology) enterDomain(d *sim.Domain, pool *packet.Pool) {
+	t.curDom = d
+	t.curPool = pool
+}
+
+// addDomainPool registers one per-domain pool in creation order.
+func (t *Topology) addDomainPool() *packet.Pool {
+	p := &packet.Pool{}
+	t.pools = append(t.pools, p)
+	return p
+}
+
+// Sharded reports whether this topology was built across event domains.
+func (t *Topology) Sharded() bool { return t.eng != nil }
+
+// Engine returns the engine a sharded topology runs on (nil otherwise).
+func (t *Topology) Engine() *sim.Engine { return t.eng }
+
+// Pools returns every packet pool of the topology: the single shared pool
+// in single-sim mode, or one pool per domain (domain creation order) in
+// sharded mode. Observers (the oracle) must be installed on all of them.
+func (t *Topology) Pools() []*packet.Pool {
+	if t.eng == nil {
+		return []*packet.Pool{t.pool}
+	}
+	return t.pools
+}
+
+// NodePool returns the pool owning node id's packets.
+func (t *Topology) NodePool(id packet.NodeID) *packet.Pool {
+	if t.eng == nil {
+		return t.pool
+	}
+	return t.nodePool[id]
+}
+
+// NodeDomain returns the event domain owning node id, or nil on a
+// single-sim topology.
+func (t *Topology) NodeDomain(id packet.NodeID) *sim.Domain {
+	if t.eng == nil {
+		return nil
+	}
+	return t.nodeDom[id]
+}
+
+// buildSim returns the Simulator new nodes should schedule on.
+func (t *Topology) buildSim() *sim.Simulator {
+	if t.eng != nil {
+		return t.curDom.Simulator
+	}
+	return t.Sim
+}
+
+// buildPool returns the pool new nodes should draw from.
+func (t *Topology) buildPool() *packet.Pool {
+	if t.eng != nil {
+		return t.curPool
+	}
+	return t.pool
+}
+
+// recordNode captures the owning domain of the node just allocated.
+func (t *Topology) recordNode() {
+	if t.eng == nil {
+		return
+	}
+	t.nodeDom = append(t.nodeDom, t.curDom)
+	t.nodePool = append(t.nodePool, t.curPool)
+}
+
+// scheduleRecompute reruns ComputeRoutes after the reconvergence delay.
+// Route tables are read by every domain, so in sharded mode the recompute
+// is a global event (it runs at a barrier, while all domains are paused).
+func (t *Topology) scheduleRecompute() {
+	if t.RouteRecomputeDelay <= 0 {
+		t.ComputeRoutes()
+		return
+	}
+	if t.eng != nil {
+		t.eng.GlobalAfter(t.RouteRecomputeDelay, t.ComputeRoutes)
+		return
+	}
+	t.Sim.After(t.RouteRecomputeDelay, t.ComputeRoutes)
+}
+
+// BuildLeafSpineSharded constructs the leaf–spine fabric across event
+// domains of eng: one domain per leaf (owning the leaf switch and all its
+// hosts — where nearly all events live), and one domain per spine. The only
+// cross-domain links are the leaf<->spine trunks, whose propagation delay
+// must be at least the engine lookahead.
+//
+// Node creation order (and therefore IDs, names, and ECMP hash seeds) is
+// identical to BuildLeafSpine.
+func BuildLeafSpineSharded(eng *sim.Engine, cfg LeafSpineConfig) *LeafSpine {
+	if d := cfg.trunkDelay(); d < eng.Lookahead() {
+		panic(fmt.Sprintf("netem: trunk delay %v under engine lookahead %v", d, eng.Lookahead()))
+	}
+	t := &Topology{eng: eng, byName: map[string]*Link{}}
+	ls := &LeafSpine{Topology: t, Cfg: cfg}
+
+	leafDoms := make([]*sim.Domain, cfg.Leaves)
+	leafPools := make([]*packet.Pool, cfg.Leaves)
+	for i := range leafDoms {
+		leafDoms[i] = eng.AddDomain()
+		leafPools[i] = t.addDomainPool()
+	}
+	spineDoms := make([]*sim.Domain, cfg.Spines)
+	spinePools := make([]*packet.Pool, cfg.Spines)
+	for i := range spineDoms {
+		spineDoms[i] = eng.AddDomain()
+		spinePools[i] = t.addDomainPool()
+	}
+
+	for i := 0; i < cfg.Leaves; i++ {
+		t.enterDomain(leafDoms[i], leafPools[i])
+		ls.Leaves = append(ls.Leaves, t.AddSwitch(fmt.Sprintf("L%d", i+1)))
+	}
+	for i := 0; i < cfg.Spines; i++ {
+		t.enterDomain(spineDoms[i], spinePools[i])
+		ls.Spines = append(ls.Spines, t.AddSwitch(fmt.Sprintf("S%d", i+1)))
+	}
+	// Trunks: addLink derives each direction's owning domain from its source
+	// node, so no enterDomain is needed here.
+	trunkCfg := LinkConfig{RateBps: cfg.TrunkRateBps, Delay: cfg.trunkDelay(), QueueCap: cfg.QueueCap, ECNK: cfg.ECNK}
+	for _, lf := range ls.Leaves {
+		for _, sp := range ls.Spines {
+			for k := 0; k < cfg.TrunksPerPair; k++ {
+				t.Connect(lf, sp, k, trunkCfg)
+			}
+		}
+	}
+	upCfg := LinkConfig{RateBps: cfg.HostRateBps, Delay: cfg.LinkDelay, QueueCap: HostQdiscCap}
+	downCfg := LinkConfig{RateBps: cfg.HostRateBps, Delay: cfg.LinkDelay, QueueCap: cfg.QueueCap, ECNK: cfg.ECNK}
+	for li, lf := range ls.Leaves {
+		t.enterDomain(leafDoms[li], leafPools[li])
+		for j := 0; j < cfg.HostsPerLeaf; j++ {
+			t.AddHost(fmt.Sprintf("h%d", li*cfg.HostsPerLeaf+j), lf, upCfg, downCfg)
+		}
+	}
+	t.ComputeRoutes()
+	return ls
+}

@@ -6,6 +6,7 @@ package netem
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"clove/internal/packet"
 	"clove/internal/sim"
@@ -62,6 +63,18 @@ type Link struct {
 	stats   LinkStats
 	onDrop  func(*packet.Packet)
 
+	// Cross-domain channel state (sharded topologies; see domains.go).
+	// srcDom is non-nil iff the endpoints live in different event domains:
+	// the propagation stage then crosses via Domain.Post and runs in the
+	// receiving domain. rxPool is the receiving node's pool (== pool on
+	// domain-local links). propDownDrops counts down-drops detected on the
+	// receive side; it is separate from stats (and atomic) because the
+	// source domain may be running — and writing stats — concurrently.
+	srcDom        *sim.Domain
+	dstDomID      int
+	rxPool        *packet.Pool
+	propDownDrops atomic.Int64
+
 	// Telemetry counter handles, resolved at wiring time in SetTrace; nil
 	// when telemetry is disabled (Add on a nil handle is a no-op branch).
 	trMarks *telemetry.Counter
@@ -88,6 +101,7 @@ func newLink(s *sim.Simulator, pool *packet.Pool, id packet.LinkID, name string,
 		name:     name,
 		sim:      s,
 		pool:     pool,
+		rxPool:   pool,
 		from:     from,
 		to:       to,
 		rate:     cfg.RateBps,
@@ -140,8 +154,14 @@ func (l *Link) SetRateBps(rate int64) {
 // the one currently serializing).
 func (l *Link) QueueLen() int { return l.qlen }
 
-// Stats returns a snapshot of the link counters.
-func (l *Link) Stats() LinkStats { return l.stats }
+// Stats returns a snapshot of the link counters. On a cross-domain link the
+// receive-side down-drop count is folded in; the snapshot is exact whenever
+// the engine is at a barrier (or done).
+func (l *Link) Stats() LinkStats {
+	st := l.stats
+	st.DownDrops += l.propDownDrops.Load()
+	return st
+}
 
 // Utilization returns the DRE-estimated egress utilization in [0, ~1.1].
 func (l *Link) Utilization() float64 { return l.dre.Utilization() }
@@ -245,14 +265,27 @@ func (l *Link) Enqueue(pkt *packet.Packet) {
 // what makes a forwarded hop schedule zero allocations.
 func linkTxDone(a, _ any) { a.(*Link).txDone() }
 
+// linkPropagate runs in the RECEIVING node's domain: on a cross-domain link
+// it must touch only receive-side state (l.up and queueCap are safe — the
+// former changes only at engine barriers, the latter is immutable).
 func linkPropagate(a, b any) {
 	l := a.(*Link)
 	pkt := b.(*packet.Packet)
 	if l.up {
-		if o := l.pool.Obs(); o != nil {
+		if o := l.rxPool.Obs(); o != nil {
 			o.LinkDeliver(l.id, pkt)
 		}
 		l.to.Receive(pkt, l)
+		return
+	}
+	if l.srcDom != nil {
+		// The source domain may be running (and writing l.stats / l.qlen)
+		// concurrently: count atomically and report occupancy as unknown.
+		l.propDownDrops.Add(1)
+		if o := l.rxPool.Obs(); o != nil {
+			o.LinkDrop(l.id, pkt, packet.DropLinkDown, 0, l.queueCap)
+		}
+		l.rxPool.Put(pkt)
 		return
 	}
 	l.stats.DownDrops++
@@ -300,7 +333,11 @@ func (l *Link) txDone() {
 	pkt := l.sending
 	l.sending = nil
 	if l.up {
-		l.sim.AfterCall(l.delay, linkPropagate, l, pkt)
+		if l.srcDom != nil {
+			l.srcDom.Post(l.dstDomID, l.sim.Now()+l.delay, linkPropagate, l, pkt)
+		} else {
+			l.sim.AfterCall(l.delay, linkPropagate, l, pkt)
+		}
 	} else {
 		l.stats.DownDrops++
 		if o := l.pool.Obs(); o != nil {

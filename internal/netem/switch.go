@@ -42,7 +42,12 @@ type Switch struct {
 
 	egress       []*Link // all egress links, kept sorted by ID once finalized
 	egressSorted bool
-	routes       map[packet.HostID][]*Link // ECMP next-hops per destination host
+	// routes holds the ECMP next-hop sets, indexed by destination HostID
+	// (host addresses are dense, assigned in creation order). A dense slice
+	// instead of a map keeps the per-packet forwarding lookup to one bounds
+	// check and one load — no hashing — which matters at fabric scale where
+	// every switch consults it for every forwarded packet.
+	routes [][]*Link
 
 	lb    SwitchLB
 	stats SwitchStats
@@ -53,6 +58,10 @@ func (s *Switch) ID() packet.NodeID { return s.id }
 
 // Name returns the builder-assigned name (e.g. "L1", "S2").
 func (s *Switch) Name() string { return s.name }
+
+// Sim returns the Simulator this switch schedules on (its owning domain's
+// on sharded topologies).
+func (s *Switch) Sim() *sim.Simulator { return s.sim }
 
 // SetLB installs an in-network load balancer hook (CONGA).
 func (s *Switch) SetLB(lb SwitchLB) { s.lb = lb }
@@ -68,7 +77,16 @@ func (s *Switch) Egress() []*Link {
 
 // NextHops returns the current ECMP candidate set toward dst (nil if
 // unreachable). The returned slice must not be modified.
-func (s *Switch) NextHops(dst packet.HostID) []*Link { return s.routes[dst] }
+func (s *Switch) NextHops(dst packet.HostID) []*Link { return s.nextHops(dst) }
+
+// nextHops is the forwarding-path route lookup: dense-indexed, bounds-guarded
+// (an out-of-range address is simply unreachable, matching the old map miss).
+func (s *Switch) nextHops(dst packet.HostID) []*Link {
+	if uint(dst) >= uint(len(s.routes)) {
+		return nil
+	}
+	return s.routes[dst]
+}
 
 const (
 	fnvOffset = 14695981039346656037
@@ -132,7 +150,7 @@ func (s *Switch) ecmpPick(pkt *packet.Packet, candidates []*Link) *Link {
 // destination is unreachable. Used by oracle-style path enumeration in
 // tests and fast experiment setup; the data plane never calls it.
 func (s *Switch) RoutePreview(pkt *packet.Packet) *Link {
-	candidates := s.routes[pkt.OuterDst()]
+	candidates := s.nextHops(pkt.OuterDst())
 	if len(candidates) == 0 {
 		return nil
 	}
@@ -155,7 +173,7 @@ func (s *Switch) Receive(pkt *packet.Packet, ingress *Link) {
 	}
 
 	dst := pkt.OuterDst()
-	candidates := s.routes[dst]
+	candidates := s.nextHops(dst)
 	if len(candidates) == 0 {
 		s.stats.NoRoute++
 		s.pool.Put(pkt)
@@ -200,7 +218,7 @@ func (s *Switch) answerProbe(probe *packet.Packet) {
 
 	// What egress would the probe have taken had it lived?
 	var chosenLink packet.LinkID = -1
-	if cands := s.routes[probe.OuterDst()]; len(cands) > 0 {
+	if cands := s.nextHops(probe.OuterDst()); len(cands) > 0 {
 		chosenLink = s.ecmpPick(probe, cands).ID()
 	}
 
@@ -222,7 +240,7 @@ func (s *Switch) answerProbe(probe *packet.Packet) {
 	// The probe terminates here; the echo replaces it on the wire.
 	s.pool.Put(probe)
 
-	cands := s.routes[src]
+	cands := s.nextHops(src)
 	if len(cands) == 0 {
 		s.stats.NoRoute++
 		s.pool.Put(echo)

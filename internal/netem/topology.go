@@ -29,6 +29,15 @@ type Topology struct {
 	// topology change: route tables update this long after SetLinkPairUp.
 	// Zero means instantaneous.
 	RouteRecomputeDelay sim.Time
+
+	// Sharded-construction state (see domains.go); all nil/empty when the
+	// topology lives on a single Simulator.
+	eng      *sim.Engine
+	curDom   *sim.Domain
+	curPool  *packet.Pool
+	nodeDom  []*sim.Domain  // owning domain per NodeID
+	nodePool []*packet.Pool // owning pool per NodeID
+	pools    []*packet.Pool // one pool per domain, creation order
 }
 
 // NewTopology creates an empty fabric bound to s, with a fresh packet pool.
@@ -72,15 +81,15 @@ func (t *Topology) SwitchByName(name string) *Switch {
 // different switches still hash differently.
 func (t *Topology) AddSwitch(name string) *Switch {
 	sw := &Switch{
-		id:     t.nextNode,
-		name:   name,
-		sim:    t.Sim,
-		pool:   t.pool,
-		seed:   0x9e3779b97f4a7c15 * uint64(t.nextNode+1),
-		topo:   t,
-		routes: map[packet.HostID][]*Link{},
+		id:   t.nextNode,
+		name: name,
+		sim:  t.buildSim(),
+		pool: t.buildPool(),
+		seed: 0x9e3779b97f4a7c15 * uint64(t.nextNode+1),
+		topo: t,
 	}
 	t.nextNode++
+	t.recordNode()
 	t.switches = append(t.switches, sw)
 	return sw
 }
@@ -90,8 +99,9 @@ func (t *Topology) AddSwitch(name string) *Switch {
 // marking — a local stack backpressures rather than marks); downCfg shapes
 // the leaf's switch port toward the host.
 func (t *Topology) AddHost(name string, leaf *Switch, upCfg, downCfg LinkConfig) *Host {
-	h := &Host{id: t.nextNode, hostID: packet.HostID(len(t.hosts)), name: name, pool: t.pool}
+	h := &Host{id: t.nextNode, hostID: packet.HostID(len(t.hosts)), name: name, pool: t.buildPool(), dom: t.curDom}
 	t.nextNode++
+	t.recordNode()
 	up := t.addLink(fmt.Sprintf("%s->%s#0", name, leaf.name), h.id, leaf, upCfg)
 	down := t.addLink(fmt.Sprintf("%s->%s#0", leaf.name, name), leaf.id, h, downCfg)
 	h.uplink = up
@@ -113,7 +123,19 @@ func (t *Topology) Connect(a, b *Switch, trunk int, cfg LinkConfig) {
 }
 
 func (t *Topology) addLink(name string, from packet.NodeID, to Node, cfg LinkConfig) *Link {
-	l := newLink(t.Sim, t.pool, t.nextLink, name, from, to, cfg)
+	s, pool := t.Sim, t.pool
+	if t.eng != nil {
+		s, pool = t.nodeDom[from].Simulator, t.nodePool[from]
+	}
+	l := newLink(s, pool, t.nextLink, name, from, to, cfg)
+	if t.eng != nil {
+		dst := t.nodeDom[to.ID()]
+		l.rxPool = t.nodePool[to.ID()]
+		if src := t.nodeDom[from]; src != dst {
+			l.srcDom = src
+			l.dstDomID = dst.ID()
+		}
+	}
 	t.nextLink++
 	t.links = append(t.links, l)
 	t.byName[name] = l
@@ -133,11 +155,7 @@ func (t *Topology) SetLinkPairUp(a, b string, trunk int, up bool) {
 	}
 	l1.SetUp(up)
 	l2.SetUp(up)
-	if t.RouteRecomputeDelay > 0 {
-		t.Sim.After(t.RouteRecomputeDelay, t.ComputeRoutes)
-	} else {
-		t.ComputeRoutes()
-	}
+	t.scheduleRecompute()
 }
 
 // SetSwitchUp changes the state of every link adjacent to the named switch
@@ -155,11 +173,7 @@ func (t *Topology) SetSwitchUp(name string, up bool) {
 			l.SetUp(up)
 		}
 	}
-	if t.RouteRecomputeDelay > 0 {
-		t.Sim.After(t.RouteRecomputeDelay, t.ComputeRoutes)
-	} else {
-		t.ComputeRoutes()
-	}
+	t.scheduleRecompute()
 }
 
 // SetLinkPairRate changes the rate of both directions of the trunk-th link
@@ -180,20 +194,24 @@ func (t *Topology) SetLinkPairRate(a, b string, trunk int, rateBps int64) {
 // host, the next-hops are all up egress links lying on a shortest path.
 // Hosts attach to exactly one leaf, so this is a reverse BFS per host.
 func (t *Topology) ComputeRoutes() {
-	// adjacency: for each switch, its up egress links to other nodes.
+	// Node IDs are dense (assigned from a creation counter), so every
+	// working structure here is a flat array indexed by NodeID rather than a
+	// map: route recomputation runs in-simulation on every link flap of a
+	// failure storm, and at fat-tree scale (1024 hosts x 72 switches) the
+	// map-based BFS dominated the flap cost. The produced next-hop sets are
+	// identical — BFS visit order only affects discovery order, never the
+	// hop distances the candidate filter compares.
+	nNodes := int(t.nextNode)
 	for _, sw := range t.switches {
-		sw.routes = make(map[packet.HostID][]*Link, len(t.hosts))
+		sw.routes = make([][]*Link, len(t.hosts))
 	}
-	// dist[node] = hops from node to target host, computed by BFS on the
-	// reverse graph. Build forward adjacency once.
+	// adjacency: for each node, its up egress links to other nodes.
 	type edge struct {
 		link *Link
 		to   packet.NodeID
 	}
-	adj := map[packet.NodeID][]edge{}
-	nodeOf := map[packet.NodeID]Node{}
+	adj := make([][]edge, nNodes)
 	for _, sw := range t.switches {
-		nodeOf[sw.id] = sw
 		sw.sortEgress() // finalize build-time insertions before use
 		for _, l := range sw.egress {
 			if !l.Up() {
@@ -203,41 +221,45 @@ func (t *Topology) ComputeRoutes() {
 		}
 	}
 	for _, h := range t.hosts {
-		nodeOf[h.id] = h
 		if h.uplink.Up() {
 			adj[h.id] = append(adj[h.id], edge{h.uplink, h.uplink.To().ID()})
 		}
 	}
 
 	// reverse adjacency for BFS from the destination.
-	radj := map[packet.NodeID][]packet.NodeID{}
+	radj := make([][]packet.NodeID, nNodes)
 	for from, edges := range adj {
 		for _, e := range edges {
-			radj[e.to] = append(radj[e.to], from)
+			radj[e.to] = append(radj[e.to], packet.NodeID(from))
 		}
 	}
 
+	// dist[node] = hops from node to the target host; -1 = unreached.
+	dist := make([]int32, nNodes)
+	queue := make([]packet.NodeID, 0, nNodes)
 	for _, h := range t.hosts {
-		dist := map[packet.NodeID]int{h.id: 0}
-		queue := []packet.NodeID{h.id}
-		for len(queue) > 0 {
-			n := queue[0]
-			queue = queue[1:]
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[h.id] = 0
+		queue = append(queue[:0], h.id)
+		for head := 0; head < len(queue); head++ {
+			n := queue[head]
 			for _, prev := range radj[n] {
-				if _, seen := dist[prev]; !seen {
+				if dist[prev] < 0 {
 					dist[prev] = dist[n] + 1
 					queue = append(queue, prev)
 				}
 			}
 		}
 		for _, sw := range t.switches {
-			d, ok := dist[sw.id]
-			if !ok {
+			d := dist[sw.id]
+			if d < 0 {
 				continue
 			}
 			var nh []*Link
 			for _, e := range adj[sw.id] {
-				if dd, ok := dist[e.to]; ok && dd == d-1 {
+				if dd := dist[e.to]; dd >= 0 && dd == d-1 {
 					nh = append(nh, e.link)
 				}
 			}
@@ -274,6 +296,11 @@ func (cfg LeafSpineConfig) trunkDelay() sim.Time {
 	}
 	return cfg.LinkDelay
 }
+
+// FabricDelay returns the effective leaf<->spine propagation delay (the
+// TrunkDelay default resolved). It is the natural engine lookahead for a
+// sharded build: every cross-domain link has at least this delay.
+func (cfg LeafSpineConfig) FabricDelay() sim.Time { return cfg.trunkDelay() }
 
 // PaperTestbed returns the evaluation topology of Sec. 5 at the given rate
 // scale: scale=1.0 is the paper's 10G/40G testbed. Smaller scales keep the

@@ -1,0 +1,110 @@
+package oracle
+
+import (
+	"sync"
+
+	"clove/internal/packet"
+)
+
+// Locked adapts an Oracle for sharded runs: domain workers fire observer
+// hooks concurrently, and the Oracle's maps are not safe for that, so every
+// hook takes one mutex. The wrapper changes nothing about what is checked —
+// each invariant is keyed on a single packet, flow, or link, whose events
+// are totally ordered by the engine's barriers (ownership hand-off happens
+// only through cross-domain posts), so the interleaving of unrelated keys
+// under the lock cannot produce false verdicts.
+//
+// The per-event audit hook (Oracle.AfterEvent) is intentionally not fanned
+// out to domain simulators: it only triggers the periodic live-counter
+// self-audit, which Check covers at the end of the run.
+type Locked struct {
+	mu sync.Mutex
+	o  *Oracle
+}
+
+// NewLocked wraps o.
+func NewLocked(o *Oracle) *Locked { return &Locked{o: o} }
+
+// PoolGet implements packet.Observer.
+func (l *Locked) PoolGet(pkt *packet.Packet) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.o.PoolGet(pkt)
+}
+
+// PoolPut implements packet.Observer.
+func (l *Locked) PoolPut(pkt *packet.Packet) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.o.PoolPut(pkt)
+}
+
+// PoolGetEncap implements packet.Observer.
+func (l *Locked) PoolGetEncap(e *packet.Encap) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.o.PoolGetEncap(e)
+}
+
+// PoolPutEncap implements packet.Observer.
+func (l *Locked) PoolPutEncap(e *packet.Encap) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.o.PoolPutEncap(e)
+}
+
+// LinkSetUp implements packet.Observer.
+func (l *Locked) LinkSetUp(link packet.LinkID, up bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.o.LinkSetUp(link, up)
+}
+
+// LinkEnqueue implements packet.Observer.
+func (l *Locked) LinkEnqueue(link packet.LinkID, pkt *packet.Packet, qlenBefore, queueCap, ecnK int, marked bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.o.LinkEnqueue(link, pkt, qlenBefore, queueCap, ecnK, marked)
+}
+
+// LinkDrop implements packet.Observer.
+func (l *Locked) LinkDrop(link packet.LinkID, pkt *packet.Packet, reason packet.DropReason, qlenBefore, queueCap int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.o.LinkDrop(link, pkt, reason, qlenBefore, queueCap)
+}
+
+// LinkDeliver implements packet.Observer.
+func (l *Locked) LinkDeliver(link packet.LinkID, pkt *packet.Packet) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.o.LinkDeliver(link, pkt)
+}
+
+// HostDeliver implements packet.Observer.
+func (l *Locked) HostDeliver(host packet.HostID, pkt *packet.Packet) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.o.HostDeliver(host, pkt)
+}
+
+// StreamSent implements packet.Observer.
+func (l *Locked) StreamSent(flow packet.FiveTuple, seq, end int64, rexmit bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.o.StreamSent(flow, seq, end, rexmit)
+}
+
+// StreamDeliver implements packet.Observer.
+func (l *Locked) StreamDeliver(flow packet.FiveTuple, from, to int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.o.StreamDeliver(flow, from, to)
+}
+
+// FlowletPick implements packet.Observer.
+func (l *Locked) FlowletPick(flow packet.FiveTuple, flowletID uint32, port uint16) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.o.FlowletPick(flow, flowletID, port)
+}

@@ -10,13 +10,14 @@ import (
 	"clove/internal/telemetry"
 )
 
-// TopoConfig lowers the fat-tree slice onto the simulator's two-leaf Clos:
-// K/2 spines, per-tier delays, and trunks thinned by the oversubscription
-// ratio so hosts×hostRate = spines×trunks×trunkRate×ratio.
+// TopoConfig lowers the fat-tree slice onto the simulator's leaf-spine
+// Clos: K/2 spines, per-tier delays, and trunks thinned by the
+// oversubscription ratio so hosts×hostRate = spines×trunks×trunkRate×ratio.
+// Specs with more than 2 leaves build the sharded (event-domain) fabric.
 func (s *Spec) TopoConfig() netem.LeafSpineConfig {
 	t := s.Topology
 	return netem.LeafSpineConfig{
-		Leaves:        2,
+		Leaves:        t.Leaves,
 		Spines:        t.K / 2,
 		TrunksPerPair: t.TrunksPerPair,
 		HostsPerLeaf:  t.HostsPerLeaf,
@@ -30,14 +31,18 @@ func (s *Spec) TopoConfig() netem.LeafSpineConfig {
 }
 
 // ClusterConfig builds the cluster config for one (scheme, seed) run of
-// this scenario.
-func (s *Spec) ClusterConfig(scheme string, seed int64, oracle bool, tcfg *telemetry.Config) cluster.Config {
+// this scenario. workers sets cluster.Config.DomainWorkers — the engine
+// worker count on sharded (leaves > 2) topologies, ignored on two-leaf
+// ones; results are byte-identical at any value.
+func (s *Spec) ClusterConfig(scheme string, seed int64, oracle bool, tcfg *telemetry.Config, workers int) cluster.Config {
 	return cluster.Config{
-		Seed:      seed,
-		Topo:      s.TopoConfig(),
-		Scheme:    cluster.Scheme(scheme),
-		Oracle:    oracle,
-		Telemetry: tcfg,
+		Seed:             seed,
+		Topo:             s.TopoConfig(),
+		Scheme:           cluster.Scheme(scheme),
+		Oracle:           oracle,
+		Telemetry:        tcfg,
+		DomainWorkers:    workers,
+		ServersPerClient: s.Workload.ServersPerClient,
 	}
 }
 
@@ -155,14 +160,16 @@ func expandStorm(at sim.Time, st *StormSpec) []Action {
 	return acts
 }
 
-// InstallEvents schedules the expanded timeline on the cluster's simulator;
-// call before the workload driver runs (sim time 0). Each action becomes an
-// ordinary deterministic simulator event, so scripted runs keep the oracle,
-// telemetry, and parallel-sweep byte-identity guarantees of unscripted ones.
+// InstallEvents schedules the expanded timeline on the cluster; call before
+// the workload driver runs (sim time 0). Each action becomes an ordinary
+// deterministic simulator event — a global barrier event on sharded
+// clusters, where control actions touch many domains at once — so scripted
+// runs keep the oracle, telemetry, and parallel-run byte-identity
+// guarantees of unscripted ones.
 func (s *Spec) InstallEvents(c *cluster.Cluster) {
 	for _, a := range s.Actions() {
 		a := a
-		c.Sim.After(a.At-c.Sim.Now(), func() { a.Apply(c) })
+		c.ScheduleControl(a.At, func() { a.Apply(c) })
 	}
 }
 
@@ -186,11 +193,18 @@ func (a Action) Apply(c *cluster.Cluster) {
 	}
 }
 
-// Quick shrinks the scenario to CI scale: at most 4 hosts per leaf, 240
-// jobs, and one seed. Arrival rates track the bisection, so per-client load
-// — and with it the event-script timeline — stays meaningful.
+// Quick shrinks the scenario to CI scale: at most 4 leaves and 4 hosts per
+// leaf, 240 jobs, and one seed. Arrival rates track the bisection, so
+// per-client load — and with it the event-script timeline — stays
+// meaningful. Sharded specs stay sharded (the leaf floor is 4 when leaves
+// exceed 2), so the quick run exercises the same domain-mode machinery;
+// events referencing leaves the shrink removed are dropped.
 func (s *Spec) Quick() *Spec {
 	q := s.Clone()
+	if q.Topology.Leaves > 4 {
+		q.Topology.Leaves = 4
+		q.Events = dropMissingLeafEvents(q.Events, 4)
+	}
 	if q.Topology.HostsPerLeaf > 4 {
 		q.Topology.HostsPerLeaf = 4
 	}
@@ -203,7 +217,45 @@ func (s *Spec) Quick() *Spec {
 	if q.Workload.IncastFanout > q.Topology.HostsPerLeaf {
 		q.Workload.IncastFanout = q.Topology.HostsPerLeaf
 	}
+	if q.Topology.Leaves > 2 && (q.Workload.ServersPerClient == 0 || q.Workload.ServersPerClient > 4) {
+		q.Workload.ServersPerClient = 4
+	}
 	return q
+}
+
+// dropMissingLeafEvents removes link events (and storm links) whose leaf
+// endpoint no longer exists after a Quick shrink to `leaves` leaves; storms
+// left with no links, and the emptied events, are dropped entirely.
+func dropMissingLeafEvents(events []EventSpec, leaves int) []EventSpec {
+	present := func(l *LinkRef) bool {
+		for i := 1; i <= leaves; i++ {
+			name := fmt.Sprintf("L%d", i)
+			if l.A == name || l.B == name {
+				return true
+			}
+		}
+		return false
+	}
+	var out []EventSpec
+	for _, e := range events {
+		if e.Link != nil && !present(e.Link) {
+			continue
+		}
+		if e.Storm != nil {
+			var keep []LinkRef
+			for _, l := range e.Storm.Links {
+				if present(&l) {
+					keep = append(keep, l)
+				}
+			}
+			if len(keep) == 0 {
+				continue
+			}
+			e.Storm.Links = keep
+		}
+		out = append(out, e)
+	}
+	return out
 }
 
 func usToSim(us float64) sim.Time { return sim.Time(us * float64(sim.Microsecond)) }

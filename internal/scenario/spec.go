@@ -45,6 +45,10 @@ type Spec struct {
 type TopologySpec struct {
 	// K is the fat-tree arity: K/2 spine switches (even, >= 2).
 	K int `json:"k"`
+	// Leaves is the number of leaf switches (default 2, the paper's pod
+	// pair). More than 2 leaves compiles to the sharded (event-domain)
+	// cluster: one domain per switch, run in conservative parallel windows.
+	Leaves int `json:"leaves,omitempty"`
 	// HostsPerLeaf defaults to K/2.
 	HostsPerLeaf int `json:"hosts_per_leaf,omitempty"`
 	// TrunksPerPair is the number of parallel leaf-spine links (default 1).
@@ -85,6 +89,10 @@ type WorkloadSpec struct {
 	MaxTimeMs float64 `json:"max_time_ms,omitempty"`
 	// WarmupMs delays the first arrivals.
 	WarmupMs float64 `json:"warmup_ms,omitempty"`
+	// ServersPerClient caps each client's server set on topologies with
+	// more than 2 leaves (0 = the cluster default, min(32, other-leaf
+	// hosts)); ignored on the two-leaf full mesh.
+	ServersPerClient int `json:"servers_per_client,omitempty"`
 }
 
 // MixFractions is the workload blend; fractions must sum to 1.
@@ -191,6 +199,9 @@ func (s *Spec) Clone() *Spec {
 // specs survive a Marshal/Parse round trip unchanged.
 func (s *Spec) ApplyDefaults() {
 	t := &s.Topology
+	if t.Leaves == 0 {
+		t.Leaves = 2
+	}
 	if t.HostsPerLeaf == 0 {
 		t.HostsPerLeaf = t.K / 2
 	}
@@ -297,6 +308,9 @@ func (s *Spec) Validate() error {
 		if seen[sch] {
 			return s.errf("duplicate scheme %q", sch)
 		}
+		if s.Topology.Leaves > 2 && sch == string(cluster.SchemeCONGA) {
+			return s.errf("scheme %q requires a two-leaf topology (its congestion tables span event domains)", sch)
+		}
 		seen[sch] = true
 	}
 	if len(s.Seeds) > 16 {
@@ -314,6 +328,9 @@ func (s *Spec) validateTopology() error {
 	t := s.Topology
 	if t.K < 2 || t.K > 64 || t.K%2 != 0 {
 		return s.errf("topology.k must be a positive even number <= 64, got %d", t.K)
+	}
+	if t.Leaves < 2 || t.Leaves > 64 {
+		return s.errf("topology.leaves must be in [2, 64], got %d", t.Leaves)
 	}
 	if t.HostsPerLeaf < 1 || t.HostsPerLeaf > 64 {
 		return s.errf("topology.hosts_per_leaf must be in [1, 64], got %d", t.HostsPerLeaf)
@@ -397,13 +414,23 @@ func (s *Spec) validateWorkload() error {
 	if !(w.WarmupMs >= 0) || w.WarmupMs > w.MaxTimeMs {
 		return s.errf("workload.warmup_ms must be in [0, max_time_ms], got %v", w.WarmupMs)
 	}
+	if w.ServersPerClient < 0 || w.ServersPerClient > 64 {
+		return s.errf("workload.servers_per_client must be in [0, 64], got %d", w.ServersPerClient)
+	}
 	return nil
 }
 
 // checkLink validates a link reference against the spec's topology: one
 // endpoint a leaf, the other an existing spine, trunk index in range.
 func (s *Spec) checkLink(idx int, l *LinkRef) error {
-	leaf := func(n string) bool { return n == "L1" || n == "L2" }
+	leaf := func(n string) bool {
+		for i := 1; i <= s.Topology.Leaves; i++ {
+			if n == fmt.Sprintf("L%d", i) {
+				return true
+			}
+		}
+		return false
+	}
 	spine := func(n string) bool {
 		for i := 1; i <= s.Topology.K/2; i++ {
 			if n == fmt.Sprintf("S%d", i) {

@@ -1,0 +1,388 @@
+package sim
+
+import (
+	"fmt"
+	"slices"
+	"sync/atomic"
+)
+
+// This file is the sharded parallel-in-time engine: one simulation split
+// into event domains, each a full Simulator (own slab heap, clock, RNG),
+// coupled only through cross-domain messages that must respect a positive
+// lookahead. Execution proceeds in conservative windows: every domain runs
+// its events up to a horizon no later than (earliest pending event anywhere
+// + lookahead); any message a domain emits during a window therefore arrives
+// at or after the horizon, so it can be injected at the barrier before the
+// next window without ever violating timestamp order. Domains never observe
+// each other mid-window, which makes the execution order — and every
+// simulated outcome — a pure function of the domain decomposition,
+// independent of how many OS threads execute the windows.
+//
+// Determinism contract: for a fixed engine (same domains, same seeds, same
+// scheduled work), runs are bit-identical at any worker count. The engine
+// guarantees this by construction:
+//
+//   - each domain's event stream is a sequential Simulator run;
+//   - cross-domain posts are buffered in per-source-domain slices (touched
+//     only by the goroutine executing that domain's window) and flushed at
+//     the barrier in sorted (time, source domain, source sequence) order;
+//   - global control actions (route recomputation, scripted failures, stop
+//     checks) execute serially at barriers, at deterministic times.
+//
+// Note that a sharded run defines its *own* total order of same-timestamp
+// events — consistent across worker counts, but not identical to running
+// the same workload on one shared Simulator.
+
+// timeMax is the sentinel for "no pending event".
+const timeMax = Time(1<<63 - 1)
+
+// xpost is one buffered cross-domain message: fn(a, b) scheduled onto the
+// dst domain at time at. src and seq establish the deterministic flush
+// order for messages landing at the same timestamp.
+type xpost struct {
+	at       Time
+	src, dst int32
+	seq      uint64
+	fn       EventFunc
+	a, b     any
+}
+
+// globalEvent is one serialized control-plane action, run at a barrier.
+type globalEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// Domain is one shard of a sharded simulation: a full Simulator plus the
+// cross-domain outbox. Components inside a domain hold the embedded
+// *Simulator and schedule on it exactly as in a single-sim run; only
+// boundary components (cross-domain links, workload fan-out) use Post.
+type Domain struct {
+	*Simulator
+	id  int32
+	eng *Engine
+	out []xpost
+	seq uint64
+}
+
+// ID returns the domain's index within its engine.
+func (d *Domain) ID() int { return int(d.id) }
+
+// Engine returns the engine this domain belongs to.
+func (d *Domain) Engine() *Engine { return d.eng }
+
+// Post schedules fn(a, b) at absolute time at on the dst domain. It is the
+// only legal way to touch another domain: the message is buffered in this
+// domain's outbox (thread-confined during a window) and injected into dst's
+// event queue at the next barrier.
+//
+// at must be at least the posting domain's current time plus the engine
+// lookahead — the conservative-synchronization contract that makes barrier
+// injection safe. Posting under the lookahead panics immediately, naming
+// the violation at its source rather than corrupting the schedule.
+//
+// Post is allocation-free in steady state: the outbox slice is reused
+// across windows, and pointer operands box into the interface fields
+// without allocating.
+func (d *Domain) Post(dst int, at Time, fn EventFunc, a, b any) {
+	if dst < 0 || dst >= len(d.eng.domains) {
+		panic(fmt.Sprintf("sim: post to unknown domain %d", dst))
+	}
+	if min := d.Now() + d.eng.lookahead; at < min {
+		panic(fmt.Sprintf("sim: cross-domain post at %v under lookahead (now %v + %v)",
+			at, d.Now(), d.eng.lookahead))
+	}
+	d.out = append(d.out, xpost{at: at, src: d.id, dst: int32(dst), seq: d.seq, fn: fn, a: a, b: b})
+	d.seq++
+}
+
+// Engine coordinates a set of event domains through conservative windows.
+// Build it once per run: NewEngine, AddDomain for every shard, wire the
+// model, then Run. Engines are not reusable across topologies.
+type Engine struct {
+	seed      int64
+	lookahead Time
+	domains   []*Domain
+	now       Time // last barrier time; all domain clocks equal it between windows
+
+	globals []globalEvent // sorted by (at, seq)
+	gseq    uint64
+
+	posts []xpost // flush scratch, reused
+
+	// worker machinery, live only inside Run(workers > 1).
+	workCh  []chan Time
+	doneCh  chan struct{}
+	nextDom atomic.Int64
+	remain  atomic.Int64
+}
+
+// NewEngine creates an engine with the given base seed and lookahead. The
+// lookahead must be positive: it is the minimum timestamp increment of any
+// cross-domain message (in the network model, the smallest propagation
+// delay of a trunk link crossing a domain boundary), and it is what bounds
+// each window's horizon.
+func NewEngine(seed int64, lookahead Time) *Engine {
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: non-positive engine lookahead %v", lookahead))
+	}
+	return &Engine{seed: seed, lookahead: lookahead, doneCh: make(chan struct{})}
+}
+
+// AddDomain creates the next domain. Its Simulator seed is derived from the
+// engine seed and the domain index with a fixed mix, so every domain draws
+// an independent, reproducible random stream.
+func (e *Engine) AddDomain() *Domain {
+	id := len(e.domains)
+	seed := int64(uint64(e.seed) + uint64(id+1)*0x9e3779b97f4a7c15)
+	d := &Domain{Simulator: New(seed), id: int32(id), eng: e}
+	e.domains = append(e.domains, d)
+	return d
+}
+
+// Lookahead returns the engine's cross-domain lookahead.
+func (e *Engine) Lookahead() Time { return e.lookahead }
+
+// Now returns the last barrier time. Between windows every domain clock
+// equals it.
+func (e *Engine) Now() Time { return e.now }
+
+// NumDomains returns the number of domains.
+func (e *Engine) NumDomains() int { return len(e.domains) }
+
+// Domain returns the i-th domain.
+func (e *Engine) Domain(i int) *Domain { return e.domains[i] }
+
+// Domains returns all domains in creation order (read-only).
+func (e *Engine) Domains() []*Domain { return e.domains }
+
+// Processed sums fired events across all domains.
+func (e *Engine) Processed() uint64 {
+	var n uint64
+	for _, d := range e.domains {
+		n += d.Simulator.Processed()
+	}
+	return n
+}
+
+// Pending sums scheduled-but-unfired events across all domains plus queued
+// global actions. Between windows no cross-domain posts are outstanding, so
+// Pending()==0 means the whole sharded simulation has drained — the state
+// the oracle's conservation audit requires.
+func (e *Engine) Pending() int {
+	n := len(e.globals)
+	for _, d := range e.domains {
+		n += d.Simulator.Pending()
+	}
+	return n
+}
+
+// GlobalAt schedules a control-plane action at absolute time at. Globals
+// run serially at a barrier once every domain clock has reached exactly
+// that time, after all domain events with timestamps <= at have fired —
+// they may therefore touch state in any domain (route tables, link
+// administrative state, load knobs) without synchronization. Scheduling in
+// the past panics.
+func (e *Engine) GlobalAt(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: global event at %v before engine now %v", at, e.now))
+	}
+	ev := globalEvent{at: at, seq: e.gseq, fn: fn}
+	e.gseq++
+	// Insert keeping (at, seq) order; the timeline is short and cold.
+	i := len(e.globals)
+	for i > 0 && e.globals[i-1].at > at {
+		i--
+	}
+	e.globals = append(e.globals, globalEvent{})
+	copy(e.globals[i+1:], e.globals[i:])
+	e.globals[i] = ev
+}
+
+// GlobalAfter schedules a control-plane action delay after the last
+// barrier time.
+func (e *Engine) GlobalAfter(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative global delay %v", delay))
+	}
+	e.GlobalAt(e.now+delay, fn)
+}
+
+// minNext returns the earliest pending event timestamp across domains.
+func (e *Engine) minNext() Time {
+	min := timeMax
+	for _, d := range e.domains {
+		if at, ok := d.NextEventAt(); ok && at < min {
+			min = at
+		}
+	}
+	return min
+}
+
+// Run executes the sharded simulation until every queue drains, until the
+// deadline is reached, or until stop (evaluated at each barrier, serially)
+// reports true. workers is the number of OS threads executing windows;
+// results are bit-identical for any value. On return every domain clock
+// equals min(deadline, drain time).
+func (e *Engine) Run(until Time, workers int, stop func() bool) {
+	if until < e.now {
+		panic(fmt.Sprintf("sim: engine deadline %v before now %v", until, e.now))
+	}
+	if workers > len(e.domains) {
+		workers = len(e.domains)
+	}
+	if workers > 1 {
+		e.startWorkers(workers)
+		defer e.stopWorkers()
+	}
+	for {
+		if stop != nil && stop() {
+			return
+		}
+		tmin := e.minNext()
+		gmin := timeMax
+		if len(e.globals) > 0 {
+			gmin = e.globals[0].at
+		}
+		if tmin == timeMax && gmin == timeMax {
+			// Fully drained: advance clocks to the deadline, as RunUntil does.
+			e.window(until, workers)
+			e.now = until
+			return
+		}
+		if tmin > until && gmin > until {
+			e.window(until, workers)
+			e.now = until
+			return
+		}
+		var horizon Time
+		if gmin <= tmin {
+			// Domain events at exactly gmin fire first, then the globals.
+			horizon = gmin
+		} else {
+			horizon = tmin + e.lookahead
+			if gmin < horizon {
+				horizon = gmin
+			}
+			if horizon > until {
+				horizon = until
+			}
+		}
+		e.window(horizon, workers)
+		e.flushPosts()
+		e.now = horizon
+		if horizon == gmin {
+			e.runGlobals(gmin)
+		}
+	}
+}
+
+// window runs every domain up to and including horizon. With one worker it
+// is a plain loop on the calling goroutine; otherwise the persistent
+// workers claim domains off a shared counter (dynamic load balancing; the
+// claim order cannot affect results because domains are independent within
+// a window).
+func (e *Engine) window(horizon Time, workers int) {
+	if workers <= 1 {
+		for _, d := range e.domains {
+			d.RunUntil(horizon)
+		}
+		return
+	}
+	e.nextDom.Store(0)
+	e.remain.Store(int64(workers))
+	for _, ch := range e.workCh {
+		ch <- horizon
+	}
+	<-e.doneCh
+}
+
+func (e *Engine) startWorkers(n int) {
+	e.workCh = make([]chan Time, n)
+	for i := range e.workCh {
+		ch := make(chan Time, 1)
+		e.workCh[i] = ch
+		go func() {
+			for dl := range ch {
+				for {
+					i := e.nextDom.Add(1) - 1
+					if i >= int64(len(e.domains)) {
+						break
+					}
+					e.domains[i].RunUntil(dl)
+				}
+				if e.remain.Add(-1) == 0 {
+					e.doneCh <- struct{}{}
+				}
+			}
+		}()
+	}
+}
+
+func (e *Engine) stopWorkers() {
+	for _, ch := range e.workCh {
+		close(ch)
+	}
+	e.workCh = nil
+}
+
+// flushPosts injects every message buffered during the last window into its
+// destination domain, in (time, source domain, source sequence) order. The
+// order is a pure function of the window's (deterministic) contents, and
+// injection happens while all domains are paused, so the resulting event
+// sequence numbers — and hence same-timestamp tie-breaks — are identical at
+// any worker count. Buffers are reused; the flush allocates nothing in
+// steady state.
+func (e *Engine) flushPosts() {
+	e.posts = e.posts[:0]
+	for _, d := range e.domains {
+		e.posts = append(e.posts, d.out...)
+		for i := range d.out {
+			d.out[i].fn, d.out[i].a, d.out[i].b = nil, nil, nil
+		}
+		d.out = d.out[:0]
+	}
+	// (at, src, seq) is a total order — seq is unique per source — so the
+	// unstable pdqsort yields one deterministic permutation. At fabric scale
+	// a window can carry thousands of trunk crossings, which rules out the
+	// quadratic nearly-sorted-insertion shortcut.
+	slices.SortFunc(e.posts, postCmp)
+	for i := range e.posts {
+		p := &e.posts[i]
+		e.domains[p.dst].AtCall(p.at, p.fn, p.a, p.b)
+		p.fn, p.a, p.b = nil, nil, nil
+	}
+}
+
+// postCmp orders cross-domain posts by (time, source domain, source seq).
+func postCmp(a, b xpost) int {
+	if a.at != b.at {
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	}
+	if a.src != b.src {
+		return int(a.src) - int(b.src)
+	}
+	if a.seq < b.seq {
+		return -1
+	}
+	if a.seq > b.seq {
+		return 1
+	}
+	return 0
+}
+
+// runGlobals executes every queued global action with timestamp at, in
+// scheduling order, including any the actions themselves add at the same
+// time.
+func (e *Engine) runGlobals(at Time) {
+	for len(e.globals) > 0 && e.globals[0].at == at {
+		fn := e.globals[0].fn
+		copy(e.globals, e.globals[1:])
+		e.globals = e.globals[:len(e.globals)-1]
+		fn()
+	}
+}

@@ -42,55 +42,68 @@ type EventID struct {
 	seq  uint64 // incarnation stamp of the identified event
 }
 
-// The event queue is a 4-ary implicit min-heap of int32 slot indices into
-// the slab, ordered by the slab entries' (at, seq). Compared to
-// container/heap over []*event this removes the heap.Interface virtual
-// calls, the per-comparison pointer chase to separately allocated events
-// (slab entries are contiguous, so neighboring slots share cache lines),
-// and — via the 4-ary fanout — half the tree depth, trading cheap in-line
-// comparisons for expensive level-to-level dependencies. Ordering is the
-// strict total order (at, seq), identical to the binary container/heap this
-// replaced, so pop order — and therefore every golden figure — is
-// byte-identical by construction.
+// The event queue is a 4-ary implicit min-heap of heapEnt entries, ordered
+// by (at, seq). Compared to container/heap over []*event this removes the
+// heap.Interface virtual calls and — via the 4-ary fanout — half the tree
+// depth. Each entry carries a copy of its event's sort key alongside the
+// slab slot index: sift comparisons then read only the contiguous heap
+// array (a parent's four children share one or two cache lines) instead of
+// chasing four random 64-byte slab entries per level, which at
+// fabric-scale queue depths (hundreds of pending events per spine domain)
+// is the difference between arithmetic and memory stalls. The key copy
+// cannot go stale: a pending event's (at, seq) never changes — reschedule
+// is cancel + schedule, and recycled slots get a fresh, never-reused seq.
+// Ordering is the strict total order (at, seq), identical to the binary
+// container/heap this replaced, so pop order — and therefore every golden
+// figure — is byte-identical by construction.
 
-// heapLess orders slots by (at, seq). seq uniqueness makes the order strict.
-func (s *Simulator) heapLess(a, b int32) bool {
-	ea, eb := &s.slab[a], &s.slab[b]
-	if ea.at != eb.at {
-		return ea.at < eb.at
+// heapEnt is one pending-queue entry: the event's sort key plus its slab
+// slot. 24 bytes, so a 4-child comparison spans at most two cache lines.
+type heapEnt struct {
+	at   Time
+	seq  uint64
+	slot int32
+}
+
+// entLess orders entries by (at, seq). seq uniqueness makes the order strict.
+func entLess(a, b heapEnt) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return ea.seq < eb.seq
+	return a.seq < b.seq
 }
 
 // heapPush appends slot and restores the heap property. Pushing onto an
 // empty heap — the steady state of serialized event chains, where exactly
 // one event is pending at a time — skips the sift-up call entirely.
 func (s *Simulator) heapPush(slot int32) {
+	ev := &s.slab[slot]
 	i := len(s.heap)
-	s.heap = append(s.heap, slot)
+	s.heap = append(s.heap, heapEnt{at: ev.at, seq: ev.seq, slot: slot})
 	if i == 0 {
-		s.slab[slot].heapIdx = 0
+		ev.heapIdx = 0
 		return
 	}
 	s.siftUp(i)
 }
 
-// heapPopRoot removes and returns the minimum slot. The caller must know the
-// heap is non-empty.
+// heapPopRoot removes and returns the minimum entry's slot. The caller must
+// know the heap is non-empty. The single-entry case returns without touching
+// the entry bytes beyond the slot — the steady state of serialized event
+// chains pops and pushes through this path once per event.
 func (s *Simulator) heapPopRoot() int32 {
 	h := s.heap
-	root := h[0]
+	root := h[0].slot
 	n := len(h) - 1
-	last := h[n]
 	s.heap = h[:n]
 	if n > 0 {
-		s.heap[0] = last
+		h[0] = h[n]
 		s.siftDown(0)
 	}
 	return root
 }
 
-// heapRemove deletes the slot at heap position i (cancellation).
+// heapRemove deletes the entry at heap position i (cancellation).
 func (s *Simulator) heapRemove(i int) {
 	h := s.heap
 	n := len(h) - 1
@@ -104,36 +117,33 @@ func (s *Simulator) heapRemove(i int) {
 	}
 }
 
-// siftUp moves the slot at position i toward the root until its parent is
-// smaller. The hole-based formulation (hold the slot, slide parents down,
-// write once) does one slab store per level instead of a three-way swap.
+// siftUp moves the entry at position i toward the root until its parent is
+// smaller. The hole-based formulation (hold the entry, slide parents down,
+// write once) does one store per level instead of a three-way swap.
 func (s *Simulator) siftUp(i int) {
 	h := s.heap
-	slot := h[i]
-	at, seq := s.slab[slot].at, s.slab[slot].seq
+	ent := h[i]
 	for i > 0 {
 		p := (i - 1) >> 2
-		ps := h[p]
-		pe := &s.slab[ps]
-		if pe.at < at || (pe.at == at && pe.seq < seq) {
+		pe := h[p]
+		if entLess(pe, ent) {
 			break
 		}
-		h[i] = ps
-		pe.heapIdx = int32(i)
+		h[i] = pe
+		s.slab[pe.slot].heapIdx = int32(i)
 		i = p
 	}
-	h[i] = slot
-	s.slab[slot].heapIdx = int32(i)
+	h[i] = ent
+	s.slab[ent.slot].heapIdx = int32(i)
 }
 
-// siftDown moves the slot at position i toward the leaves until it is no
-// larger than its smallest child. It reports whether the slot moved, which
+// siftDown moves the entry at position i toward the leaves until it is no
+// larger than its smallest child. It reports whether the entry moved, which
 // heapRemove uses to decide if a sift-up is needed instead.
 func (s *Simulator) siftDown(i int) bool {
 	h := s.heap
 	n := len(h)
-	slot := h[i]
-	at, seq := s.slab[slot].at, s.slab[slot].seq
+	ent := h[i]
 	i0 := i
 	for {
 		c := i<<2 + 1 // first of up to four children
@@ -145,21 +155,19 @@ func (s *Simulator) siftDown(i int) bool {
 			end = n
 		}
 		m := c
-		me := &s.slab[h[c]]
 		for j := c + 1; j < end; j++ {
-			je := &s.slab[h[j]]
-			if je.at < me.at || (je.at == me.at && je.seq < me.seq) {
-				m, me = j, je
+			if entLess(h[j], h[m]) {
+				m = j
 			}
 		}
-		if at < me.at || (at == me.at && seq < me.seq) {
+		if entLess(ent, h[m]) {
 			break
 		}
 		h[i] = h[m]
-		me.heapIdx = int32(i)
+		s.slab[h[m].slot].heapIdx = int32(i)
 		i = m
 	}
-	h[i] = slot
-	s.slab[slot].heapIdx = int32(i)
+	h[i] = ent
+	s.slab[ent.slot].heapIdx = int32(i)
 	return i > i0
 }

@@ -30,9 +30,9 @@ const maxEventFree = 1 << 15
 // per-packet event path of the network model runs allocation-free.
 type Simulator struct {
 	now    Time
-	slab   []event // all event structs, addressed by slot index
-	heap   []int32 // pending events: 4-ary min-heap of slot indices
-	free   []int32 // recycled slot indices
+	slab   []event   // all event structs, addressed by slot index
+	heap   []heapEnt // pending events: 4-ary min-heap keyed by (at, seq)
+	free   []int32   // recycled slot indices
 	nextID uint64
 	rng    *rand.Rand
 
@@ -63,6 +63,16 @@ func (s *Simulator) Processed() uint64 { return s.processed }
 
 // Pending reports how many events are scheduled but not yet fired.
 func (s *Simulator) Pending() int { return len(s.heap) }
+
+// NextEventAt returns the timestamp of the earliest pending event, or
+// ok=false when the queue is empty. The sharded engine uses it to compute
+// each window's horizon.
+func (s *Simulator) NextEventAt() (Time, bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.heap[0].at, true
+}
 
 // FreeEvents reports the current size of the event free list (telemetry and
 // leak tests; slab memory is bounded by maxEventFree once the queue drains).
@@ -240,7 +250,7 @@ func (s *Simulator) Run() {
 func (s *Simulator) RunUntil(deadline Time) {
 	s.beginRun()
 	defer s.endRun()
-	for len(s.heap) > 0 && !s.stopped && s.slab[s.heap[0]].at <= deadline {
+	for len(s.heap) > 0 && !s.stopped && s.heap[0].at <= deadline {
 		s.fire()
 	}
 	if !s.stopped && s.now < deadline {

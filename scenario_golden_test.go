@@ -11,9 +11,10 @@ import (
 // scenario byte-for-byte against testdata/golden/scenarios/. As with the
 // figure goldens, two passes run: serial (-j 1) under the correctness oracle
 // — certifying every scripted flap, switch failure, and load ramp against
-// the conservation/pool invariants — and parallel (-j 4) without it, so the
-// scripted timelines stay byte-identical at any worker count. Regenerate
-// with `go test -run TestGoldenScenariosQuick -update`.
+// the conservation/pool invariants — and parallel (-j 4, 4 domain workers
+// inside each sharded run) without it, so the scripted timelines stay
+// byte-identical at any worker count on both axes. Regenerate with
+// `go test -run TestGoldenScenariosQuick -update`.
 func TestGoldenScenariosQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scenario golden regression is minutes of simulation; skipped in -short")
@@ -22,9 +23,10 @@ func TestGoldenScenariosQuick(t *testing.T) {
 		name        string
 		parallelism int
 		oracle      bool
+		domWorkers  int
 	}{
-		{"serial-oracle", 1, true},
-		{"parallel-j4", 4, false},
+		{"serial-oracle", 1, true, 1},
+		{"parallel-j4", 4, false, 4},
 	}
 	for _, pass := range passes {
 		pass := pass
@@ -35,9 +37,10 @@ func TestGoldenScenariosQuick(t *testing.T) {
 					t.Fatalf("LoadScenario(%q): %v", name, err)
 				}
 				rows := RunScenario(sp, ScenarioOpts{
-					Quick:       true,
-					Parallelism: pass.parallelism,
-					Oracle:      pass.oracle,
+					Quick:         true,
+					Parallelism:   pass.parallelism,
+					Oracle:        pass.oracle,
+					DomainWorkers: pass.domWorkers,
 				}, nil)
 				got := FormatRows(rows)
 				path := filepath.Join("testdata", "golden", "scenarios", fmt.Sprintf("%s.txt", name))
