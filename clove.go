@@ -63,6 +63,13 @@ const (
 	// CloveLatency is the Sec. 7 extension: one-way path delay as the
 	// reflected congestion metric instead of ECN or INT.
 	CloveLatency = cluster.SchemeCloveLatency
+	// Concury is the edge-stateless contrast point: encap ports come from
+	// a versioned consistent-hash table with no per-flow state.
+	Concury = cluster.SchemeConcury
+	// Charon is the in-network contrast point: leaf switches stamp
+	// per-path load and the edge picks the less-loaded of two hashed
+	// candidates.
+	Charon = cluster.SchemeCharon
 )
 
 // Schemes lists every scheme in presentation order.

@@ -23,14 +23,16 @@ func TestFacadeClusterRoundTrip(t *testing.T) {
 
 func TestFacadeSchemesList(t *testing.T) {
 	s := Schemes()
-	if len(s) != 9 { // the paper's eight plus the Sec. 7 latency extension
-		t.Fatalf("schemes = %d, want 9", len(s))
+	// The paper's eight, the Sec. 7 latency extension, and the two
+	// contrast points (stateless Concury, in-network Charon).
+	if len(s) != 11 {
+		t.Fatalf("schemes = %d, want 11", len(s))
 	}
 	seen := map[Scheme]bool{}
 	for _, sc := range s {
 		seen[sc] = true
 	}
-	for _, want := range []Scheme{ECMP, EdgeFlowlet, CloveECN, CloveINT, Presto, MPTCP, CONGA, LetFlow, CloveLatency} {
+	for _, want := range []Scheme{ECMP, EdgeFlowlet, CloveECN, CloveINT, Presto, MPTCP, CONGA, LetFlow, CloveLatency, Concury, Charon} {
 		if !seen[want] {
 			t.Errorf("missing scheme %q", want)
 		}

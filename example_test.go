@@ -69,4 +69,6 @@ func ExampleSchemes() {
 	// conga
 	// letflow
 	// clove-latency
+	// concury
+	// charon
 }

@@ -39,18 +39,41 @@ const (
 	// (NIC timestamping + synchronized clocks), and new flowlets go to the
 	// currently-fastest path.
 	SchemeCloveLatency Scheme = "clove-latency"
+	// SchemeConcury is the stateless edge design point (after Concury's
+	// small-state L4 balancer): the encap source port is a pure consistent
+	// hash over the five-tuple and a versioned bucket table, with no
+	// per-flow state — per-connection consistency across path churn
+	// instead of flowlet agility. Runs under the oracle's conn-consistency
+	// invariant (see oracle.RequireConnConsistency).
+	SchemeConcury Scheme = "concury"
+	// SchemeCharon is the switch-assisted design point (a Charon-style
+	// "smart fabric" midpoint between Clove-ECN and CONGA): leaf switches
+	// stamp per-path load into transiting packets (netem's load-stamping
+	// hook on top of the DRE/INT machinery), and the edge steers new
+	// flowlets by power-of-two-choices over the reflected loads.
+	SchemeCharon Scheme = "charon"
 	// SchemeCloveUniform is a differential-testing reference, not a paper
 	// scheme (it is deliberately absent from AllSchemes): plain round-robin
 	// over discovered paths. Clove-ECN with frozen uniform weights must
 	// behave byte-for-byte identically to it.
 	SchemeCloveUniform Scheme = "clove-uniform"
+	// SchemeConcuryRef and SchemeCharonRef are the reference twins of
+	// SchemeConcury and SchemeCharon for differential testing (absent from
+	// AllSchemes, like SchemeCloveUniform): the same scheme semantics
+	// implemented by replaying the control-event history instead of
+	// incremental state. A full run under either must be byte-for-byte
+	// identical to its principal.
+	SchemeConcuryRef Scheme = "concury-ref"
+	SchemeCharonRef  Scheme = "charon-ref"
 )
 
-// AllSchemes lists every scheme in presentation order (the paper's eight
-// plus the Sec. 7 latency-feedback extension).
+// AllSchemes lists every scheme in presentation order (the paper's eight,
+// the Sec. 7 latency-feedback extension, and the two non-paper contenders —
+// stateless Concury and switch-assisted Charon).
 func AllSchemes() []Scheme {
 	return []Scheme{SchemeECMP, SchemeEdgeFlowlet, SchemeCloveECN, SchemeCloveINT,
-		SchemePresto, SchemeMPTCP, SchemeCONGA, SchemeLetFlow, SchemeCloveLatency}
+		SchemePresto, SchemeMPTCP, SchemeCONGA, SchemeLetFlow, SchemeCloveLatency,
+		SchemeConcury, SchemeCharon}
 }
 
 // Config parameterizes a cluster.
@@ -205,6 +228,9 @@ func New(cfg Config) *Cluster {
 		c.Oracle = oracle.New()
 		ls.Pool().SetObserver(c.Oracle)
 		s.SetEventHook(c.Oracle.AfterEvent)
+		if connConsistent(cfg.Scheme) {
+			c.Oracle.RequireConnConsistency()
+		}
 	}
 	// Defaults match the paper's best settings (Fig. 6): flowlet gap of one
 	// network RTT, feedback relay every half RTT (Sec. 3.2). The Fig. 6
@@ -279,6 +305,14 @@ func New(cfg Config) *Cluster {
 			pol = vswitch.NewCloveINT(wtCfg, s.Now)
 		case SchemePresto:
 			pol = vswitch.NewPresto(s)
+		case SchemeConcury:
+			pol = vswitch.NewConcury()
+		case SchemeConcuryRef:
+			pol = vswitch.NewConcuryRef()
+		case SchemeCharon:
+			pol = vswitch.NewCharon(wtCfg.UtilAge, s.Now)
+		case SchemeCharonRef:
+			pol = vswitch.NewCharonRef(wtCfg.UtilAge, s.Now)
 		default:
 			panic(fmt.Sprintf("cluster: unknown scheme %q", cfg.Scheme))
 		}
@@ -294,9 +328,28 @@ func New(cfg Config) *Cluster {
 		c.Conga = conga.Attach(s, ls, conga.Config{FlowletGap: c.Cfg.FlowletGap / 4})
 	case SchemeLetFlow:
 		attachLetFlow(s, ls, c.Cfg.FlowletGap)
+	case SchemeCharon, SchemeCharonRef:
+		attachCharonStamping(ls)
 	}
 	c.setupTelemetry()
 	return c
+}
+
+// attachCharonStamping turns on fabric-initiated load stamping at every
+// leaf. The first-hop leaf enables INT on a data packet, and the ordinary
+// stamping then records the max egress utilization across that hop and
+// every later one — the same telemetry Clove-INT requests from the edge,
+// initiated by the switches instead.
+func attachCharonStamping(ls *netem.LeafSpine) {
+	for _, sw := range ls.Leaves {
+		sw.SetLoadStamp(true)
+	}
+}
+
+// connConsistent reports whether scheme promises per-connection path
+// stability (the oracle's conn-consistency invariant applies).
+func connConsistent(s Scheme) bool {
+	return s == SchemeConcury || s == SchemeConcuryRef
 }
 
 // RTT returns the unloaded base round-trip time of the fabric.
@@ -330,7 +383,8 @@ func (c *Cluster) Quiesce() {
 // needsPaths reports whether the scheme consumes discovered path sets.
 func (c *Cluster) needsPaths() bool {
 	switch c.Cfg.Scheme {
-	case SchemeCloveECN, SchemeCloveINT, SchemeCloveLatency, SchemePresto, SchemeCloveUniform:
+	case SchemeCloveECN, SchemeCloveINT, SchemeCloveLatency, SchemePresto, SchemeCloveUniform,
+		SchemeConcury, SchemeConcuryRef, SchemeCharon, SchemeCharonRef:
 		return true
 	}
 	return false
@@ -409,7 +463,7 @@ func (c *Cluster) installPrestoWeights(src, dst packet.HostID, ports []uint16, p
 	}
 	pol := c.VSwitches[src].Policy().(*vswitch.Presto)
 	pol.SetStaticWeights(dst, weights)
-	pol.SetPaths(dst, ports)
+	c.VSwitches[src].SetPaths(dst, ports)
 }
 
 // fabricLinks drops the terminal leaf->host downlink every path shares.

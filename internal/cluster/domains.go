@@ -63,6 +63,9 @@ func newSharded(cfg Config) *Cluster {
 		}
 		// No per-event hook: it only drives the periodic live-counter
 		// self-audit, which CheckOracle's end-of-run Check covers.
+		if connConsistent(cfg.Scheme) {
+			c.Oracle.RequireConnConsistency()
+		}
 	}
 	if cfg.FlowletGap == 0 {
 		c.Cfg.FlowletGap = c.rtt
@@ -129,14 +132,27 @@ func newSharded(cfg Config) *Cluster {
 			pol = vswitch.NewCloveINT(wtCfg, s.Now)
 		case SchemePresto:
 			pol = vswitch.NewPresto(s)
+		case SchemeConcury:
+			pol = vswitch.NewConcury()
+		case SchemeConcuryRef:
+			pol = vswitch.NewConcuryRef()
+		case SchemeCharon:
+			pol = vswitch.NewCharon(wtCfg.UtilAge, s.Now)
+		case SchemeCharonRef:
+			pol = vswitch.NewCharonRef(wtCfg.UtilAge, s.Now)
 		default:
 			panic(fmt.Sprintf("cluster: unknown scheme %q", cfg.Scheme))
 		}
 		c.VSwitches = append(c.VSwitches, vswitch.New(s, h, vcfg, pol))
 	}
 
-	if cfg.Scheme == SchemeLetFlow {
+	switch cfg.Scheme {
+	case SchemeLetFlow:
 		attachLetFlowSharded(ls, c.Cfg.FlowletGap)
+	case SchemeCharon, SchemeCharonRef:
+		// Load stamping reads only the local egress link's DRE, so unlike
+		// CONGA it is domain-safe: each leaf stamps inside its own window.
+		attachCharonStamping(ls)
 	}
 	c.setupTelemetrySharded()
 	return c

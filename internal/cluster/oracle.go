@@ -21,7 +21,7 @@ func (c *Cluster) oracleInstall(src, dst packet.HostID) {
 	for i, p := range selected {
 		ports[i] = p.Port
 	}
-	c.VSwitches[src].Policy().SetPaths(dst, ports)
+	c.VSwitches[src].SetPaths(dst, ports)
 	if c.Cfg.Scheme == SchemePresto && c.Cfg.PrestoIdealWeights {
 		c.installPrestoWeights(src, dst, ports, selected)
 	}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestNewSchemesOracleClean runs the stateless (concury) and in-network
+// (charon) contrast schemes — and their hidden differential references —
+// under the full oracle in both execution modes. Concury additionally arms
+// the per-connection-consistency invariant (see connConsistent), so a clean
+// CheckOracle here proves no connection moved ports while its pick remained
+// installed.
+func TestNewSchemesOracleClean(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeConcury, SchemeConcuryRef, SchemeCharon, SchemeCharonRef} {
+		scheme := scheme
+		t.Run(string(scheme), func(t *testing.T) {
+			c := New(Config{Seed: 7, Topo: smallTopo(), Scheme: scheme, Oracle: true})
+			res := c.RunWebSearch(smallWS(0.5))
+			if res.Completed == 0 || res.TimedOut {
+				t.Fatalf("legacy: bad run %+v", res)
+			}
+			if err := c.CheckOracle(); err != nil {
+				t.Errorf("legacy: oracle: %v", err)
+			}
+
+			c2 := New(Config{Seed: 7, Topo: shardedTopo(), Scheme: scheme,
+				Oracle: true, DomainWorkers: 4, ServersPerClient: 4})
+			res2 := c2.RunMix(shardedMix())
+			if res2.Completed == 0 || res2.TimedOut {
+				t.Fatalf("sharded: bad run %+v", res2)
+			}
+			if err := c2.CheckOracle(); err != nil {
+				t.Errorf("sharded: oracle: %v", err)
+			}
+		})
+	}
+}
+
+// TestNewSchemesWorkerInvariance pins the PR 7 determinism promise for the
+// new schemes: a sharded run's full FCT sample stream is byte-identical at
+// 1 and 4 workers (satellite: seed-permutation and -workers invariance).
+func TestNewSchemesWorkerInvariance(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeConcury, SchemeCharon} {
+		scheme := scheme
+		t.Run(string(scheme), func(t *testing.T) {
+			stream := func(workers int) []string {
+				c := New(Config{Seed: 31, Topo: shardedTopo(), Scheme: scheme,
+					Oracle: true, DomainWorkers: workers, ServersPerClient: 4})
+				res := c.RunMix(shardedMix())
+				if res.Completed == 0 || res.TimedOut {
+					t.Fatalf("workers=%d: bad run %+v", workers, res)
+				}
+				if err := c.CheckOracle(); err != nil {
+					t.Fatalf("workers=%d: oracle: %v", workers, err)
+				}
+				var out []string
+				for _, s := range c.Recorder.Samples() {
+					out = append(out, fmt.Sprintf("%d:%d", s.Size, int64(s.FCT)))
+				}
+				return out
+			}
+			base := stream(1)
+			got := stream(4)
+			if len(base) != len(got) {
+				t.Fatalf("sample counts differ: %d vs %d", len(base), len(got))
+			}
+			for i := range base {
+				if base[i] != got[i] {
+					t.Fatalf("sample %d differs: %s vs %s", i, base[i], got[i])
+				}
+			}
+		})
+	}
+}

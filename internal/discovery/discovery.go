@@ -180,7 +180,7 @@ func (p *Prober) finish(id uint32) {
 	for i, s := range selected {
 		ports[i] = s.Port
 	}
-	p.vsw.Policy().SetPaths(r.dst, ports)
+	p.vsw.SetPaths(r.dst, ports)
 	p.stats.PathSetUpdates++
 	if p.OnPaths != nil {
 		p.OnPaths(r.dst, ports, selected)

@@ -76,3 +76,60 @@ func TestSeedPermutationInvariance(t *testing.T) {
 		t.Fatalf("seed permutation changed aggregated output:\n{1,2}:\n%s\n{2,1}:\n%s", a, b)
 	}
 }
+
+// diffRun executes one (scheme, load, seed) cell twice — once with the
+// production policy, once with its replay reference — under the oracle, and
+// asserts the full FCT sample streams and summaries are identical.
+func diffRun(t *testing.T, prod, ref cluster.Scheme) {
+	t.Helper()
+	sc := tiny()
+	sc.Seeds = []int64{1, 2}
+	sc.Loads = []float64{0.4, 0.7}
+	sc.Oracle = true
+	opts := sweepOpts{figure: "diff-" + string(prod)}
+	for _, load := range sc.Loads {
+		for _, seed := range sc.Seeds {
+			recP, toP := runOne(sc, opts, prod, load, seed)
+			recR, toR := runOne(sc, opts, ref, load, seed)
+			if toP != toR {
+				t.Fatalf("load=%.1f seed=%d: timeout mismatch %s=%v %s=%v", load, seed, prod, toP, ref, toR)
+			}
+			sP, sR := recP.Samples(), recR.Samples()
+			if len(sP) == 0 {
+				t.Fatalf("load=%.1f seed=%d: run produced no samples", load, seed)
+			}
+			if len(sP) != len(sR) {
+				t.Fatalf("load=%.1f seed=%d: %d vs %d samples", load, seed, len(sP), len(sR))
+			}
+			for i := range sP {
+				if sP[i] != sR[i] {
+					t.Fatalf("load=%.1f seed=%d: sample %d diverges: %s=%+v %s=%+v",
+						load, seed, i, prod, sP[i], ref, sR[i])
+				}
+			}
+			if !reflect.DeepEqual(recP.Summarize(), recR.Summarize()) {
+				t.Fatalf("load=%.1f seed=%d: summaries diverge:\n%s: %+v\n%s: %+v",
+					load, seed, prod, recP.Summarize(), ref, recR.Summarize())
+			}
+		}
+	}
+}
+
+// TestConcuryEquivalentToReference pins the stateless scheme against an
+// independent replay implementation: the production Concury keeps one live
+// bucket table per destination and updates it incrementally on SetPaths,
+// while ConcuryRef stores the full install history and re-folds it from
+// scratch on every pick. Sample-for-sample equality under the oracle means
+// the incremental table transition is exactly the reference fold.
+func TestConcuryEquivalentToReference(t *testing.T) {
+	diffRun(t, cluster.SchemeConcury, cluster.SchemeConcuryRef)
+}
+
+// TestCharonEquivalentToReference pins the in-network scheme the same way:
+// production Charon mutates per-path load samples in place on feedback and
+// carries them across re-installs, while CharonRef appends every install
+// and feedback event to a log and re-folds it on every pick. Equality means
+// the in-place state machine matches the event-sourced reference.
+func TestCharonEquivalentToReference(t *testing.T) {
+	diffRun(t, cluster.SchemeCharon, cluster.SchemeCharonRef)
+}

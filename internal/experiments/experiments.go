@@ -310,10 +310,15 @@ func testbedSchemes() []cluster.Scheme {
 	}
 }
 
+// simSchemes are the simulation-only sweeps: the paper's set plus the two
+// contrast points added here — stateless Concury and in-network Charon —
+// which, like CONGA and Clove-INT, need features a commodity edge or
+// fabric of the testbed era did not have.
 func simSchemes() []cluster.Scheme {
 	return []cluster.Scheme{
 		cluster.SchemeECMP, cluster.SchemeEdgeFlowlet, cluster.SchemeCloveECN,
 		cluster.SchemeCloveINT, cluster.SchemeCONGA,
+		cluster.SchemeConcury, cluster.SchemeCharon,
 	}
 }
 

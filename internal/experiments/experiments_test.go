@@ -104,7 +104,7 @@ func TestFig7Incast(t *testing.T) {
 
 func TestFig8Simulation(t *testing.T) {
 	rows := Fig8a(tiny(), nil)
-	checkRows(t, rows, 5, "fig8a")
+	checkRows(t, rows, 7, "fig8a")
 	seen := map[string]bool{}
 	for _, r := range rows {
 		seen[r.Scheme] = true
@@ -112,8 +112,11 @@ func TestFig8Simulation(t *testing.T) {
 	if !seen["clove-int"] || !seen["conga"] {
 		t.Error("fig8a missing hardware-comparison schemes")
 	}
+	if !seen["concury"] || !seen["charon"] {
+		t.Error("fig8a missing the stateless/in-network contrast schemes")
+	}
 	rows = Fig8b(tiny(), nil)
-	checkRows(t, rows, 5, "fig8b")
+	checkRows(t, rows, 7, "fig8b")
 }
 
 func TestFig9CDF(t *testing.T) {

@@ -9,7 +9,8 @@ import (
 )
 
 // stormSpec is an event-script workout: a rolling two-link storm overlapping
-// a load ramp, run over two schemes and two seeds at CI scale.
+// a load ramp, run over four schemes (one per design point: hash baseline,
+// edge-stateful, edge-stateless, in-network) and two seeds at CI scale.
 func stormSpec(t *testing.T) *scenario.Spec {
 	t.Helper()
 	sp := &scenario.Spec{
@@ -22,7 +23,7 @@ func stormSpec(t *testing.T) *scenario.Spec {
 			Mix:       scenario.MixFractions{WebSearch: 0.75, RPC: 0.25},
 			MaxTimeMs: 10000,
 		},
-		Schemes: []string{"ecmp", "clove-ecn"},
+		Schemes: []string{"ecmp", "clove-ecn", "concury", "charon"},
 		Seeds:   []int64{1, 2},
 		Events: []scenario.EventSpec{
 			{AtMs: 200, Type: scenario.EventLoadScale, Scale: 2},

@@ -49,8 +49,12 @@ type Switch struct {
 	// every switch consults it for every forwarded packet.
 	routes [][]*Link
 
-	lb    SwitchLB
-	stats SwitchStats
+	lb SwitchLB
+	// stampLoad makes this switch initiate INT on transiting data packets
+	// (Charon-style switch-assisted telemetry): the fabric stamps per-path
+	// load whether or not the edge asked for it. See SetLoadStamp.
+	stampLoad bool
+	stats     SwitchStats
 }
 
 // ID implements Node.
@@ -65,6 +69,15 @@ func (s *Switch) Sim() *sim.Simulator { return s.sim }
 
 // SetLB installs an in-network load balancer hook (CONGA).
 func (s *Switch) SetLB(lb SwitchLB) { s.lb = lb }
+
+// SetLoadStamp makes the switch enable INT on every data packet it
+// forwards, so the fabric itself reports per-path load to the edges without
+// the sending hypervisor requesting telemetry (the switch-assisted Charon
+// scheme). Once enabled here, the ordinary INT stamping records this and
+// every downstream hop's egress utilization. Stamping is a purely local
+// read of the chosen egress link's DRE, so it is safe in sharded
+// (domain-mode) topologies where CONGA's cross-switch tables are not.
+func (s *Switch) SetLoadStamp(on bool) { s.stampLoad = on }
 
 // Stats returns a snapshot of switch counters.
 func (s *Switch) Stats() SwitchStats { return s.stats }
@@ -188,6 +201,13 @@ func (s *Switch) Receive(pkt *packet.Packet, ingress *Link) {
 	}
 	if eg == nil {
 		eg = s.ecmpPick(pkt, candidates)
+	}
+
+	// Switch-assisted load stamping (Charon): the fabric initiates INT on
+	// transit data traffic, so the block below stamps this hop and
+	// INT.Enabled rides the packet to stamp every later hop too.
+	if s.stampLoad && pkt.Kind == packet.KindData {
+		pkt.INT.Enabled = true
 	}
 
 	// Telemetry stamping happens at egress selection: INT records the

@@ -108,3 +108,10 @@ func (l *Locked) FlowletPick(flow packet.FiveTuple, flowletID uint32, port uint1
 	defer l.mu.Unlock()
 	l.o.FlowletPick(flow, flowletID, port)
 }
+
+// PolicyPaths implements packet.Observer.
+func (l *Locked) PolicyPaths(src, dst packet.HostID, ports []uint16) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.o.PolicyPaths(src, dst, ports)
+}

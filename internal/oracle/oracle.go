@@ -39,6 +39,13 @@
 //     and every packet a host NIC receives is addressed to that host.
 //   - flowlet: all packets of one (flow, flowlet) keep one outer source
 //     port — the property that makes a flowlet atomic on one path.
+//   - conn-consistency (opt-in, RequireConnConsistency): a connection's
+//     outer source port changes only if the port it was using left the
+//     installed path set (PolicyPaths) at some point since it was picked —
+//     the relaxation of flowlet pinning that stateless consistent-hashing
+//     schemes (Concury) guarantee instead of per-flowlet state. Enabled
+//     only for schemes that promise it; flowlet-rotating schemes move
+//     ports at every gap by design.
 //
 // Violations are recorded (capped, counted) rather than panicking, so a run
 // completes and Check/Err report everything found.
@@ -53,7 +60,7 @@ import (
 // Violation is one detected invariant breach.
 type Violation struct {
 	// Class is the invariant class: "conservation", "pool", "tcp-stream",
-	// "queue-ecn", "routing", or "flowlet".
+	// "queue-ecn", "routing", "flowlet", or "conn-consistency".
 	Class string
 	// Msg describes the specific breach.
 	Msg string
@@ -85,6 +92,28 @@ type flowletKey struct {
 	id   uint32
 }
 
+// pairKey identifies a (source hypervisor, destination hypervisor) path
+// table for the conn-consistency invariant.
+type pairKey struct {
+	src, dst packet.HostID
+}
+
+// pathSetState tracks one pair's installed-port history: the current set
+// and, per port, the last install version at which it was absent. Versions
+// count PolicyPaths events for the pair (0 = before any install).
+type pathSetState struct {
+	version    int
+	present    map[uint16]bool
+	lastAbsent map[uint16]int
+}
+
+// connPick is the conn-consistency record of a connection's current port:
+// the port and the pair's install version when that port was first picked.
+type connPick struct {
+	port    uint16
+	version int
+}
+
 // Oracle shadows one simulation run. Install with
 // pool.SetObserver(o) and sim.SetEventHook(o.AfterEvent); call Check once
 // the run finishes. Not safe for concurrent use — one Oracle per run,
@@ -102,6 +131,13 @@ type Oracle struct {
 	streams  map[packet.FiveTuple]*streamState
 	flowlets map[flowletKey]uint16
 
+	// Conn-consistency state: installed path sets per pair (always
+	// tracked; installs are control-plane-rare) and, when connCheck is
+	// enabled, each connection's current (port, pick-version).
+	connCheck bool
+	pathSets  map[pairKey]*pathSetState
+	conns     map[packet.FiveTuple]connPick
+
 	events     uint64
 	violations []Violation
 	count      int64
@@ -115,8 +151,17 @@ func New() *Oracle {
 		linkDown: map[packet.LinkID]bool{},
 		streams:  map[packet.FiveTuple]*streamState{},
 		flowlets: map[flowletKey]uint16{},
+		pathSets: map[pairKey]*pathSetState{},
+		conns:    map[packet.FiveTuple]connPick{},
 	}
 }
+
+// RequireConnConsistency arms the conn-consistency invariant: call it for
+// runs of schemes that guarantee per-connection path stability (Concury).
+// Without it, PolicyPaths installs are still tracked but picks are not
+// judged — flowlet-rotating schemes legitimately move connections at every
+// flowlet gap.
+func (o *Oracle) RequireConnConsistency() { o.connCheck = true }
 
 func (o *Oracle) violationf(class, format string, args ...any) {
 	o.count++
@@ -372,6 +417,66 @@ func (o *Oracle) FlowletPick(flow packet.FiveTuple, flowletID uint32, port uint1
 		return
 	}
 	o.flowlets[k] = port
+	if o.connCheck {
+		o.checkConnConsistency(flow, port)
+	}
+}
+
+// checkConnConsistency judges a new flowlet's port against the connection's
+// previous one. A change is legal only if the previous port was absent from
+// the pair's installed set at some install version since it was picked
+// (including "absent right now" and "picked before any install"). The
+// record is updated only when the port actually changes, so mid-run
+// installs cannot launder a pinned port's age.
+func (o *Oracle) checkConnConsistency(flow packet.FiveTuple, port uint16) {
+	pk := pairKey{src: flow.Src, dst: flow.Dst}
+	ps := o.pathSets[pk]
+	version := 0
+	if ps != nil {
+		version = ps.version
+		// A pick of a port outside the current set (fallback during a
+		// withdrawal) is direct evidence the port is absent at this
+		// version; record it so moving off it later stays legal.
+		if !ps.present[port] && ps.lastAbsent[port] < version {
+			ps.lastAbsent[port] = version
+		}
+	}
+	prev, ok := o.conns[flow]
+	if !ok {
+		o.conns[flow] = connPick{port: port, version: version}
+		return
+	}
+	if prev.port == port {
+		return
+	}
+	if ps != nil && ps.present[prev.port] && ps.lastAbsent[prev.port] < prev.version {
+		o.violationf("conn-consistency",
+			"%s moved outer port %d -> %d while %d stayed installed since its pick (pick v%d, now v%d)",
+			flow, prev.port, port, prev.port, prev.version, version)
+	}
+	o.conns[flow] = connPick{port: port, version: version}
+}
+
+// PolicyPaths implements packet.Observer: record the pair's new installed
+// set and note which previously-present ports just left it.
+func (o *Oracle) PolicyPaths(src, dst packet.HostID, ports []uint16) {
+	pk := pairKey{src: src, dst: dst}
+	ps := o.pathSets[pk]
+	if ps == nil {
+		ps = &pathSetState{present: map[uint16]bool{}, lastAbsent: map[uint16]int{}}
+		o.pathSets[pk] = ps
+	}
+	ps.version++
+	next := make(map[uint16]bool, len(ports))
+	for _, p := range ports {
+		next[p] = true
+	}
+	for p := range ps.present {
+		if !next[p] {
+			ps.lastAbsent[p] = ps.version
+		}
+	}
+	ps.present = next
 }
 
 // Stats is a snapshot of what the oracle observed (tests, telemetry).

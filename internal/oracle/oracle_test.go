@@ -358,3 +358,83 @@ func TestDisabledOracleZeroAllocs(t *testing.T) {
 		t.Fatalf("hot path with disabled oracle: %v allocs/op, want 0", allocs)
 	}
 }
+
+// TestConnConsistencyClean exercises every legal move of the opt-in
+// conn-consistency invariant: staying put across churn, moving after the
+// pinned port is withdrawn, fallback picks during a full withdrawal, and
+// remove-then-readd churn that must not be mistaken for a violation.
+func TestConnConsistencyClean(t *testing.T) {
+	o := oracle.New()
+	o.RequireConnConsistency()
+	flow := packet.FiveTuple{Src: 1, Dst: 2, SrcPort: 100, DstPort: 200, Proto: packet.ProtoTCP}
+
+	// Pre-discovery fallback pick, then install containing a different port.
+	o.FlowletPick(flow, 1, 33000)
+	o.PolicyPaths(1, 2, []uint16{40000, 40001})
+	// Moving off the fallback port is legal: it was never installed.
+	o.FlowletPick(flow, 2, 40000)
+	// Staying on the pick across an install refresh is always legal.
+	o.PolicyPaths(1, 2, []uint16{40000, 40001})
+	o.FlowletPick(flow, 3, 40000)
+	// Remove the pinned port: moving is now legal.
+	o.PolicyPaths(1, 2, []uint16{40001, 40002})
+	o.FlowletPick(flow, 4, 40001)
+	// Remove-then-readd the pinned port: a later move is still legal,
+	// because 40001 was absent after the pick was made.
+	o.PolicyPaths(1, 2, []uint16{40002})
+	o.PolicyPaths(1, 2, []uint16{40001, 40002})
+	o.FlowletPick(flow, 5, 40002)
+	// Full withdrawal: a fallback pick outside the (empty) set, then
+	// re-install and return to an installed port.
+	o.PolicyPaths(1, 2, nil)
+	o.FlowletPick(flow, 6, 33017)
+	o.PolicyPaths(1, 2, []uint16{40000, 40001})
+	o.FlowletPick(flow, 7, 40000)
+
+	if err := o.Check(1); err != nil {
+		t.Fatalf("clean conn-consistency sequence flagged: %v", err)
+	}
+}
+
+// TestMutationConnConsistency seeds the stateless-scheme bug the invariant
+// exists to catch: a connection moved to a different installed port while
+// its current port never left the installed set.
+func TestMutationConnConsistency(t *testing.T) {
+	o := oracle.New()
+	o.RequireConnConsistency()
+	flow := packet.FiveTuple{Src: 1, Dst: 2, SrcPort: 100, DstPort: 200, Proto: packet.ProtoTCP}
+	o.PolicyPaths(1, 2, []uint16{40000, 40001})
+	o.FlowletPick(flow, 1, 40000)
+	o.FlowletPick(flow, 2, 40001) // the bug: 40000 is still installed
+	wantViolation(t, o, 1, "conn-consistency")
+}
+
+// TestConnConsistencyOffByDefault runs the same seeded violation without
+// arming the invariant: stateful schemes may legally rebalance across
+// flowlets, so nothing must be flagged.
+func TestConnConsistencyOffByDefault(t *testing.T) {
+	o := oracle.New()
+	flow := packet.FiveTuple{Src: 1, Dst: 2, SrcPort: 100, DstPort: 200, Proto: packet.ProtoTCP}
+	o.PolicyPaths(1, 2, []uint16{40000, 40001})
+	o.FlowletPick(flow, 1, 40000)
+	o.FlowletPick(flow, 2, 40001)
+	if err := o.Check(1); err != nil {
+		t.Fatalf("unarmed oracle flagged a flowlet-level rebalance: %v", err)
+	}
+}
+
+// TestMutationConnConsistencyReaddLaundering pins the version bookkeeping:
+// re-adding a port that was never removed since the pick must not make a
+// move off it legal, while a genuine remove-then-readd must.
+func TestMutationConnConsistencyReaddLaundering(t *testing.T) {
+	o := oracle.New()
+	o.RequireConnConsistency()
+	flow := packet.FiveTuple{Src: 1, Dst: 2, SrcPort: 100, DstPort: 200, Proto: packet.ProtoTCP}
+	o.PolicyPaths(1, 2, []uint16{40000, 40001})
+	o.FlowletPick(flow, 1, 40000)
+	// Install refreshes that keep 40000 present do not reset its age.
+	o.PolicyPaths(1, 2, []uint16{40000, 40002})
+	o.PolicyPaths(1, 2, []uint16{40000, 40003})
+	o.FlowletPick(flow, 2, 40003)
+	wantViolation(t, o, 1, "conn-consistency")
+}

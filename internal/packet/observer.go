@@ -76,4 +76,11 @@ type Observer interface {
 	// to a packet of (flow, flowletID). Per-packet policies (Presto
 	// flowcells) do not report here.
 	FlowletPick(flow FiveTuple, flowletID uint32, port uint16)
+
+	// PolicyPaths fires when a path set is installed into (or withdrawn
+	// from, ports empty) the source hypervisor src's policy for
+	// destination dst — the control-plane side of the data-plane picks
+	// FlowletPick reports. The observer must copy ports if it retains
+	// them; the slice belongs to the caller.
+	PolicyPaths(src, dst HostID, ports []uint16)
 }

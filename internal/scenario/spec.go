@@ -262,9 +262,15 @@ func (s *Spec) errf(format string, a ...any) error {
 }
 
 // validSchemes is every scheme a spec may name: the paper's evaluated set
-// plus the clove-uniform differential reference.
+// plus the hidden differential references (clove-uniform, concury-ref,
+// charon-ref), so a scenario can pit a production scheme against its
+// replay twin.
 func validSchemes() map[string]bool {
-	m := map[string]bool{string(cluster.SchemeCloveUniform): true}
+	m := map[string]bool{
+		string(cluster.SchemeCloveUniform): true,
+		string(cluster.SchemeConcuryRef):   true,
+		string(cluster.SchemeCharonRef):    true,
+	}
 	for _, sch := range cluster.AllSchemes() {
 		m[string(sch)] = true
 	}

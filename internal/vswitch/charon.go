@@ -1,0 +1,234 @@
+package vswitch
+
+import (
+	"clove/internal/packet"
+	"clove/internal/sim"
+)
+
+// charonSalt derives the second power-of-two-choices candidate from the
+// same five-tuple; it must differ from the first pick's salt so the two
+// candidate indices are independent.
+const charonSalt = 0x7f4a7c15
+
+// charonPath is one path's latest fabric-reported load sample.
+type charonPath struct {
+	port uint16
+	util float64
+	at   sim.Time // 0 = never reported
+}
+
+// Charon is the switch-assisted load-aware scheme: the *fabric* initiates
+// per-path load telemetry (leaf switches stamp egress utilization into
+// transiting data packets via netem's load-stamping hook, reusing the
+// DRE/INT machinery), the destination hypervisor reflects it through the
+// ordinary feedback channel, and the edge steers each new flowlet with
+// power-of-two-choices — hash two candidate paths, take the less loaded
+// one. It is the design midpoint between Clove-INT (edge requests
+// telemetry) and CONGA (fabric owns the whole decision): smart switches,
+// dumb-but-informed edge.
+//
+// Ties — including the cold start, when no path has a fresh sample — go to
+// the first hash candidate, which is itself uniform across flows, so the
+// scheme never herds onto a fixed table index (the Clove-INT stale-sample
+// lesson).
+type Charon struct {
+	now     func() sim.Time
+	utilAge sim.Time
+	tables  map[packet.HostID][]charonPath
+}
+
+// NewCharon creates the policy. now provides the simulation clock; utilAge
+// is how long a reflected load sample stays trusted (stale samples count as
+// zero load so quiet paths get re-probed).
+func NewCharon(utilAge sim.Time, now func() sim.Time) *Charon {
+	return &Charon{now: now, utilAge: utilAge, tables: map[packet.HostID][]charonPath{}}
+}
+
+// Name implements PathPolicy.
+func (*Charon) Name() string { return "charon" }
+
+// PickPort implements PathPolicy: power-of-two-choices over the installed
+// paths. Before discovery it degrades to Edge-Flowlet hashing.
+func (c *Charon) PickPort(dst packet.HostID, flow packet.FiveTuple, flowletID uint32) uint16 {
+	paths := c.tables[dst]
+	n := len(paths)
+	if n == 0 {
+		return portHash(flow, flowletID+1)
+	}
+	if n == 1 {
+		return paths[0].port
+	}
+	i, j := charonCandidates(flow, flowletID, n)
+	now := c.now()
+	if charonLoad(paths[j], now, c.utilAge) < charonLoad(paths[i], now, c.utilAge) {
+		return paths[j].port
+	}
+	return paths[i].port
+}
+
+// charonCandidates derives the two distinct candidate indices for a
+// (flow, flowlet) over n >= 2 paths: the first is a plain hash choice, the
+// second a hash offset in [1, n-1] from it, so i != j always.
+func charonCandidates(flow packet.FiveTuple, flowletID uint32, n int) (int, int) {
+	i := int(portHash(flow, flowletID+1)) % n
+	j := (i + 1 + int(portHash(flow, flowletID+charonSalt))%(n-1)) % n
+	return i, j
+}
+
+// charonLoad is a path's effective load: the reflected utilization while
+// the sample is fresh, zero once it ages out (optimism re-probes).
+func charonLoad(p charonPath, now, utilAge sim.Time) float64 {
+	if p.at == 0 || now-p.at > utilAge {
+		return 0
+	}
+	return p.util
+}
+
+// OnFeedback implements PathPolicy: record the fabric-stamped utilization
+// the destination reflected. ECN feedback counts as a fully-loaded path —
+// a CE mark means a queue exceeded its threshold, which DRE utilization may
+// understate. Feedback for a port not currently installed is dropped.
+func (c *Charon) OnFeedback(dst packet.HostID, fb packet.Feedback, now sim.Time) {
+	if !fb.Valid {
+		return
+	}
+	paths := c.tables[dst]
+	for i := range paths {
+		if paths[i].port != fb.Port {
+			continue
+		}
+		if fb.HasUtil {
+			paths[i].util = fb.Util
+			paths[i].at = now
+		}
+		if fb.ECN && paths[i].util < 1 {
+			paths[i].util = 1
+			paths[i].at = now
+		}
+		return
+	}
+}
+
+// SetPaths implements PathPolicy: install the discovered set, carrying load
+// samples over for ports that survive (rediscovery must not blind the
+// balancer). An empty list withdraws the path set per the PathPolicy
+// contract.
+func (c *Charon) SetPaths(dst packet.HostID, ports []uint16) {
+	old := c.tables[dst]
+	next := make([]charonPath, len(ports))
+	for i, port := range ports {
+		next[i] = charonPath{port: port}
+		for _, p := range old {
+			if p.port == port {
+				next[i] = p
+				break
+			}
+		}
+	}
+	c.tables[dst] = next
+}
+
+// AllCongested implements PathPolicy; Charon never masks ECN.
+func (*Charon) AllCongested(packet.HostID, sim.Time) bool { return false }
+
+// charonRefEvent is one recorded control event for the replay reference.
+type charonRefEvent struct {
+	install bool
+	ports   []uint16 // install payload
+	fb      packet.Feedback
+	at      sim.Time // feedback arrival time
+}
+
+// CharonRef is the independent reference for differential-testing Charon:
+// it records every SetPaths and OnFeedback verbatim and, on each pick,
+// folds the whole log into a load table from scratch before applying the
+// same power-of-two-choices rule. The incremental sample carry-over in
+// Charon.SetPaths and the drop-unknown-port rule in OnFeedback must be
+// observationally identical to this replay on every sample of a run.
+type CharonRef struct {
+	now     func() sim.Time
+	utilAge sim.Time
+	logs    map[packet.HostID][]charonRefEvent
+}
+
+// NewCharonRef returns the replay-based reference policy.
+func NewCharonRef(utilAge sim.Time, now func() sim.Time) *CharonRef {
+	return &CharonRef{now: now, utilAge: utilAge, logs: map[packet.HostID][]charonRefEvent{}}
+}
+
+// Name implements PathPolicy.
+func (*CharonRef) Name() string { return "charon-ref" }
+
+// SetPaths implements PathPolicy: append to the log.
+func (c *CharonRef) SetPaths(dst packet.HostID, ports []uint16) {
+	c.logs[dst] = append(c.logs[dst], charonRefEvent{
+		install: true, ports: append([]uint16(nil), ports...),
+	})
+}
+
+// OnFeedback implements PathPolicy: append to the log.
+func (c *CharonRef) OnFeedback(dst packet.HostID, fb packet.Feedback, now sim.Time) {
+	if !fb.Valid {
+		return
+	}
+	c.logs[dst] = append(c.logs[dst], charonRefEvent{fb: fb, at: now})
+}
+
+// PickPort implements PathPolicy by replaying the control log: installs
+// rebuild the port list and discard samples of removed ports, feedback for
+// a currently-installed port records a sample, everything else is dropped.
+// The fold is independent code from Charon's incremental bookkeeping.
+func (c *CharonRef) PickPort(dst packet.HostID, flow packet.FiveTuple, flowletID uint32) uint16 {
+	type sample struct {
+		util float64
+		at   sim.Time
+	}
+	var ports []uint16
+	samples := map[uint16]sample{}
+	for _, ev := range c.logs[dst] {
+		if ev.install {
+			for p := range samples {
+				if !containsPort(ev.ports, p) {
+					delete(samples, p)
+				}
+			}
+			ports = ev.ports
+			continue
+		}
+		if !containsPort(ports, ev.fb.Port) {
+			continue
+		}
+		s := samples[ev.fb.Port]
+		if ev.fb.HasUtil {
+			s = sample{util: ev.fb.Util, at: ev.at}
+		}
+		if ev.fb.ECN && s.util < 1 {
+			s = sample{util: 1, at: ev.at}
+		}
+		samples[ev.fb.Port] = s
+	}
+
+	n := len(ports)
+	if n == 0 {
+		return portHash(flow, flowletID+1)
+	}
+	if n == 1 {
+		return ports[0]
+	}
+	i, j := charonCandidates(flow, flowletID, n)
+	now := c.now()
+	load := func(port uint16) float64 {
+		s, ok := samples[port]
+		if !ok {
+			return 0
+		}
+		return charonLoad(charonPath{port: port, util: s.util, at: s.at}, now, c.utilAge)
+	}
+	if load(ports[j]) < load(ports[i]) {
+		return ports[j]
+	}
+	return ports[i]
+}
+
+// AllCongested implements PathPolicy.
+func (*CharonRef) AllCongested(packet.HostID, sim.Time) bool { return false }

@@ -1,0 +1,183 @@
+package vswitch
+
+import (
+	"clove/internal/packet"
+	"clove/internal/sim"
+)
+
+// concuryBuckets is the size of the per-destination lookup table. A few
+// dozen entries per path already spreads connections evenly; 256 keeps the
+// table one cache line per 32 paths while making bucket collisions (two
+// heavy flows sharing a bucket) rare at the scale simulated here.
+const concuryBuckets = 256
+
+// concurySalt decorrelates the bucket index from the port-hash fallback:
+// both are FNV over the five-tuple, so without a distinct salt every
+// pre-discovery flow would land in a bucket correlated with its fallback
+// port.
+const concurySalt = 0x9e3779b9
+
+// concuryBucket maps a flow to its lookup-table slot. The mapping uses only
+// the five-tuple, never the flowlet ID, so a connection always addresses
+// the same slot for its whole lifetime.
+func concuryBucket(flow packet.FiveTuple) int {
+	return int(portHash(flow, concurySalt)) % concuryBuckets
+}
+
+// concuryTable is one destination's versioned lookup table. The data plane
+// (PickPort) only ever reads the current buckets slice; SetPaths builds the
+// next version off to the side and swaps it in, so a pick never observes a
+// half-updated table.
+type concuryTable struct {
+	version int
+	ports   []uint16 // currently installed set (install order); empty = withdrawn
+	buckets []uint16 // slot -> port; every entry is in ports while ports is non-empty
+}
+
+// Concury is the stateless consistent-hashing policy, modeled on Concury's
+// small-state L4 balancer discipline: the data plane is a pure lookup — a
+// hash of the five-tuple indexes a fixed-size bucket table — and control
+// never updates that table in place. SetPaths builds version N+1 from
+// version N, keeping each bucket's port wherever it survived the churn, so
+// a connection's path changes only when the path itself disappears
+// (per-connection consistency). There is no per-flow state at all: PickPort
+// allocates nothing and the table footprint is independent of flow count.
+//
+// Unlike the Clove schemes, Concury is congestion-oblivious; its value in
+// the matrix is showing what consistency-without-state costs under
+// asymmetry, and exercising the oracle's conn-consistency invariant.
+type Concury struct {
+	tables map[packet.HostID]*concuryTable
+}
+
+// NewConcury returns the stateless consistent-hashing policy.
+func NewConcury() *Concury {
+	return &Concury{tables: map[packet.HostID]*concuryTable{}}
+}
+
+// Name implements PathPolicy.
+func (*Concury) Name() string { return "concury" }
+
+// PickPort implements PathPolicy: a pure bucket lookup. The flowlet ID is
+// deliberately ignored — the scheme pins connections, not flowlets. Before
+// discovery (or after a full withdrawal) it degrades to the static
+// per-connection hash, which is equally flowlet-invariant.
+func (c *Concury) PickPort(dst packet.HostID, flow packet.FiveTuple, _ uint32) uint16 {
+	t := c.tables[dst]
+	if t == nil || len(t.ports) == 0 {
+		return portHash(flow, 0)
+	}
+	return t.buckets[concuryBucket(flow)]
+}
+
+// OnFeedback implements PathPolicy (ignored: congestion-oblivious).
+func (*Concury) OnFeedback(packet.HostID, packet.Feedback, sim.Time) {}
+
+// SetPaths implements PathPolicy: the two-version swap. Buckets whose port
+// survives into the new set keep it; orphaned buckets are reassigned
+// round-robin over the new set by slot index (deterministic, so any two
+// replicas of the table agree). An empty list withdraws the path set per
+// the PathPolicy contract — picks fall back to hashing — but the bucket
+// contents are retained so a later re-install with overlapping ports
+// restores surviving connections to their old paths.
+func (c *Concury) SetPaths(dst packet.HostID, ports []uint16) {
+	t := c.tables[dst]
+	if t == nil {
+		t = &concuryTable{buckets: make([]uint16, concuryBuckets)}
+		c.tables[dst] = t
+	}
+	t.version++
+	if len(ports) == 0 {
+		t.ports = t.ports[:0]
+		return
+	}
+	next := make([]uint16, concuryBuckets)
+	for i := range next {
+		if containsPort(ports, t.buckets[i]) {
+			next[i] = t.buckets[i]
+		} else {
+			next[i] = ports[i%len(ports)]
+		}
+	}
+	t.buckets = next
+	t.ports = append(t.ports[:0], ports...)
+}
+
+// AllCongested implements PathPolicy; Concury never masks ECN.
+func (*Concury) AllCongested(packet.HostID, sim.Time) bool { return false }
+
+// Version reports how many SetPaths calls dst has seen (tests).
+func (c *Concury) Version(dst packet.HostID) int {
+	if t := c.tables[dst]; t != nil {
+		return t.version
+	}
+	return 0
+}
+
+// containsPort reports whether ports contains p (path sets are a handful of
+// entries, so a linear scan beats building a set).
+func containsPort(ports []uint16, p uint16) bool {
+	for _, q := range ports {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// ConcuryRef is the independent reference for differential-testing Concury:
+// instead of maintaining the bucket table incrementally, it records the full
+// history of installed port sets and derives a bucket's current port by
+// replaying the keep-if-present-else-reassign rule over that history on
+// every pick. The incremental table and the replay must agree on every
+// sample of a full run; a divergence means the in-place versioning (not the
+// hash) broke consistency.
+type ConcuryRef struct {
+	history map[packet.HostID][][]uint16
+}
+
+// NewConcuryRef returns the replay-based reference policy.
+func NewConcuryRef() *ConcuryRef {
+	return &ConcuryRef{history: map[packet.HostID][][]uint16{}}
+}
+
+// Name implements PathPolicy.
+func (*ConcuryRef) Name() string { return "concury-ref" }
+
+// SetPaths implements PathPolicy: append-only history, no table.
+func (c *ConcuryRef) SetPaths(dst packet.HostID, ports []uint16) {
+	c.history[dst] = append(c.history[dst], append([]uint16(nil), ports...))
+}
+
+// PickPort implements PathPolicy by folding the install history from the
+// beginning: each non-empty version keeps the bucket's port if present,
+// otherwise reassigns slot i to version[i%len]. Empty versions withdraw the
+// active set without disturbing bucket assignments, mirroring Concury's
+// retained buckets.
+func (c *ConcuryRef) PickPort(dst packet.HostID, flow packet.FiveTuple, _ uint32) uint16 {
+	hist := c.history[dst]
+	var active []uint16
+	if len(hist) > 0 {
+		active = hist[len(hist)-1]
+	}
+	if len(active) == 0 {
+		return portHash(flow, 0)
+	}
+	slot := concuryBucket(flow)
+	var port uint16 // zero = unassigned; never a valid encap port
+	for _, version := range hist {
+		if len(version) == 0 {
+			continue
+		}
+		if !containsPort(version, port) {
+			port = version[slot%len(version)]
+		}
+	}
+	return port
+}
+
+// OnFeedback implements PathPolicy (ignored: congestion-oblivious).
+func (*ConcuryRef) OnFeedback(packet.HostID, packet.Feedback, sim.Time) {}
+
+// AllCongested implements PathPolicy.
+func (*ConcuryRef) AllCongested(packet.HostID, sim.Time) bool { return false }

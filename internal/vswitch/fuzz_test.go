@@ -1,0 +1,132 @@
+package vswitch
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"clove/internal/clove"
+	"clove/internal/packet"
+	"clove/internal/sim"
+)
+
+// TestPortHashPinnedVectors pins portHash against fixed vectors: the hash
+// steers every scheme's fallback path AND Concury's bucket assignment, so a
+// silent change would shift every golden in the repo. If an intentional
+// change lands here, regenerate the goldens in the same commit.
+func TestPortHashPinnedVectors(t *testing.T) {
+	cases := []struct {
+		flow   packet.FiveTuple
+		salt   uint32
+		want   uint16
+		bucket int
+	}{
+		{packet.FiveTuple{}, 0, 56389, 154},
+		{packet.FiveTuple{Src: 1, Dst: 2, SrcPort: 100, DstPort: 200, Proto: packet.ProtoTCP}, 0, 40300, 51},
+		{packet.FiveTuple{Src: 1, Dst: 2, SrcPort: 100, DstPort: 200, Proto: packet.ProtoTCP}, 1, 59277, 51},
+		{packet.FiveTuple{Src: 7, Dst: 31, SrcPort: 55000, DstPort: 443, Proto: packet.ProtoTCP}, concurySalt, 34414, 110},
+	}
+	for _, c := range cases {
+		if got := portHash(c.flow, c.salt); got != c.want {
+			t.Errorf("portHash(%+v, %d) = %d, want %d", c.flow, c.salt, got, c.want)
+		}
+		if got := concuryBucket(c.flow); got != c.bucket {
+			t.Errorf("concuryBucket(%+v) = %d, want %d", c.flow, got, c.bucket)
+		}
+	}
+}
+
+// FuzzPickPort drives every registered policy with fuzzer-chosen five-tuples,
+// path-set sizes (0, 1, and non-powers-of-two included), and feedback
+// orderings. Invariants: no policy panics; path-consuming policies return an
+// installed port whenever the set is non-empty; hash fallbacks stay in the
+// ephemeral range; picks are idempotent for the stateless schemes.
+func FuzzPickPort(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte{0xff, 0x00, 0x13, 0x37, 0x01, 0x05, 0x03, 0xfe, 0x42, 0x42, 0x42})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		read := func(i int) byte {
+			if i < len(data) {
+				return data[i]
+			}
+			return 0
+		}
+		u16 := func(i int) uint16 {
+			return binary.LittleEndian.Uint16([]byte{read(i), read(i + 1)})
+		}
+		dst := packet.HostID(read(0) % 8)
+		flow := packet.FiveTuple{
+			Src:     packet.HostID(read(1) % 8),
+			Dst:     dst,
+			SrcPort: u16(2),
+			DstPort: u16(4),
+			Proto:   packet.Proto(read(6)),
+		}
+		// Path-set size 0..6 covers empty, singleton, and non-powers-of-two.
+		n := int(read(7) % 7)
+		ports := make([]uint16, 0, n)
+		for i := 0; i < n; i++ {
+			p := 1000 + uint16(read(8+i)%32) // below 32768: disjoint from hash fallbacks
+			if !containsPort(ports, p) {
+				ports = append(ports, p)
+			}
+		}
+		flowletID := uint32(u16(14))
+
+		wtCfg := clove.DefaultWeightTableConfig(100 * sim.Microsecond)
+		var now sim.Time
+		clock := func() sim.Time { return now }
+		policies := []struct {
+			pol           PathPolicy
+			consumesPaths bool
+			stateless     bool
+		}{
+			{NewECMP(), false, true},
+			{NewEdgeFlowlet(), false, true},
+			{NewCloveECN(wtCfg), true, false},
+			{NewCloveUniform(), true, false},
+			{NewCloveINT(wtCfg, clock), true, false},
+			{NewPresto(sim.New(1)), false, false},
+			{NewConcury(), true, true},
+			{NewConcuryRef(), true, true},
+			{NewCharon(100*sim.Microsecond, clock), true, true},
+			{NewCharonRef(100*sim.Microsecond, clock), true, true},
+		}
+		for _, pc := range policies {
+			pol := pc.pol
+			pol.SetPaths(dst, ports)
+			// Feedback ordering chosen by the fuzzer: ECN-first, util-first,
+			// or interleaved, for installed and never-installed ports.
+			for i := 0; i < int(read(16)%4); i++ {
+				fb := packet.Feedback{
+					Valid:   read(17+i)%4 != 0,
+					Port:    1000 + uint16(read(18+i)%40),
+					ECN:     read(19+i)%2 == 0,
+					HasUtil: read(20+i)%3 == 0,
+					Util:    float64(read(21+i)) / 255,
+				}
+				now = sim.Time(i+1) * sim.Microsecond
+				pol.OnFeedback(dst, fb, now)
+			}
+			got := pol.PickPort(dst, flow, flowletID)
+			if len(ports) > 0 && pc.consumesPaths && !containsPort(ports, got) {
+				t.Fatalf("%s: pick %d outside installed %v", pol.Name(), got, ports)
+			}
+			if len(ports) == 0 && pc.consumesPaths && got < 32768 {
+				t.Fatalf("%s: empty-set pick %d is not a hash fallback", pol.Name(), got)
+			}
+			if pc.stateless {
+				if again := pol.PickPort(dst, flow, flowletID); again != got {
+					t.Fatalf("%s: pick not idempotent: %d then %d", pol.Name(), got, again)
+				}
+			}
+			// Withdraw and pick again: the empty-set contract under fuzz.
+			pol.SetPaths(dst, nil)
+			if p := pol.PickPort(dst, flow, flowletID+1); pc.consumesPaths && p < 32768 {
+				t.Fatalf("%s: withdrawn pick %d is not a hash fallback", pol.Name(), p)
+			}
+		}
+	})
+}

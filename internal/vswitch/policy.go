@@ -22,7 +22,20 @@ type PathPolicy interface {
 	// OnFeedback delivers a reflected path observation for a path toward
 	// dst (Feedback.Port identifies the path).
 	OnFeedback(dst packet.HostID, fb packet.Feedback, now sim.Time)
-	// SetPaths installs the discovered encap source ports for dst.
+	// SetPaths installs the discovered encap source ports for dst,
+	// replacing any previously installed set.
+	//
+	// An empty (or nil) list withdraws the path set. After a withdrawal
+	// the policy must behave as it did before discovery: it never panics,
+	// never starts a new flowlet (or flowcell) on a withdrawn port, and
+	// picks by its pre-discovery hashing instead; AllCongested reports
+	// false; and OnFeedback for the withdrawn ports is accepted and
+	// ignored. A later non-empty SetPaths re-installs normally. In-flight
+	// flowlets are outside the policy's hands (the vswitch pins them), so
+	// only new picks are constrained. (Discovery never installs an empty
+	// set today, but scenario scripts can kill every path to a
+	// destination, and the policies must agree on what that means —
+	// TestSetPathsEmptyContract pins each one.)
 	SetPaths(dst packet.HostID, ports []uint16)
 	// AllCongested reports whether every known path toward dst currently
 	// has fresh congestion feedback (drives ECN un-masking).

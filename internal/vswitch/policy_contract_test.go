@@ -1,0 +1,225 @@
+package vswitch
+
+import (
+	"math/rand"
+	"testing"
+
+	"clove/internal/clove"
+	"clove/internal/packet"
+	"clove/internal/sim"
+)
+
+// contractPorts are deliberately below the ephemeral range portHash emits
+// (32768+), so a hash-fallback pick can never collide with an installed
+// port and every membership assertion is exact.
+var contractPorts = []uint16{1000, 1001, 1002, 1003}
+
+// policyCase describes one PathPolicy for the contract and property tests.
+type policyCase struct {
+	name string
+	make func() PathPolicy
+	// consumesPaths: PickPort must return an installed port whenever the
+	// installed set is non-empty (false for the pure-hash schemes and for
+	// Presto, whose PickPort is only the pre-install fallback).
+	consumesPaths bool
+	// connStable: picks depend only on the five-tuple, never the flowlet
+	// ID, and may change only when the picked port leaves the set.
+	connStable bool
+	// pureHash: picks are a pure function of (flow, flowletID) and ignore
+	// installed paths entirely.
+	pureHash bool
+}
+
+func allPolicyCases() []policyCase {
+	wtCfg := clove.DefaultWeightTableConfig(100 * sim.Microsecond)
+	var now sim.Time
+	clock := func() sim.Time { return now }
+	return []policyCase{
+		{name: "ecmp", make: func() PathPolicy { return NewECMP() }, pureHash: true, connStable: true},
+		{name: "edge-flowlet", make: func() PathPolicy { return NewEdgeFlowlet() }, pureHash: true},
+		{name: "clove-ecn", make: func() PathPolicy { return NewCloveECN(wtCfg) }, consumesPaths: true},
+		{name: "clove-uniform", make: func() PathPolicy { return NewCloveUniform() }, consumesPaths: true},
+		{name: "clove-int", make: func() PathPolicy { return NewCloveINT(wtCfg, clock) }, consumesPaths: true},
+		{name: "presto", make: func() PathPolicy { return NewPresto(sim.New(1)) }},
+		{name: "concury", make: func() PathPolicy { return NewConcury() }, consumesPaths: true, connStable: true},
+		{name: "concury-ref", make: func() PathPolicy { return NewConcuryRef() }, consumesPaths: true, connStable: true},
+		{name: "charon", make: func() PathPolicy { return NewCharon(100*sim.Microsecond, clock) }, consumesPaths: true},
+		{name: "charon-ref", make: func() PathPolicy { return NewCharonRef(100*sim.Microsecond, clock) }, consumesPaths: true},
+	}
+}
+
+func inSet(ports []uint16, p uint16) bool { return containsPort(ports, p) }
+
+// TestSetPathsEmptyContract pins the withdrawal semantics documented on
+// PathPolicy.SetPaths for every policy: install, withdraw, and re-install,
+// asserting no panics, hash fallback while withdrawn, AllCongested false,
+// and that feedback for withdrawn ports is accepted and ignored.
+func TestSetPathsEmptyContract(t *testing.T) {
+	const dst = packet.HostID(3)
+	for _, tc := range allPolicyCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			pol := tc.make()
+			flow := packet.FiveTuple{Src: 1, Dst: dst, SrcPort: 5000, DstPort: 80, Proto: packet.ProtoTCP}
+
+			// Withdrawing before any install must be a no-op.
+			pol.SetPaths(dst, nil)
+			if p := pol.PickPort(dst, flow, 1); p < 32768 {
+				t.Fatalf("pre-install withdrawn pick %d is not a hash fallback", p)
+			}
+
+			pol.SetPaths(dst, contractPorts)
+			if p := pol.PickPort(dst, flow, 2); tc.consumesPaths && !inSet(contractPorts, p) {
+				t.Fatalf("installed pick %d outside set %v", p, contractPorts)
+			}
+
+			// Withdraw: picks must fall back to hashing (the ephemeral
+			// range), never a withdrawn port.
+			pol.SetPaths(dst, nil)
+			for fl := uint32(3); fl < 6; fl++ {
+				if p := pol.PickPort(dst, flow, fl); p < 32768 {
+					t.Fatalf("withdrawn pick %d not a hash fallback", p)
+				}
+			}
+			if pol.AllCongested(dst, 50*sim.Microsecond) {
+				t.Fatal("AllCongested true on a withdrawn path set")
+			}
+			// Feedback for a withdrawn port: accepted and ignored.
+			pol.OnFeedback(dst, packet.Feedback{Valid: true, Port: contractPorts[0], ECN: true, HasUtil: true, Util: 0.9}, 10*sim.Microsecond)
+			if p := pol.PickPort(dst, flow, 6); p < 32768 {
+				t.Fatalf("pick %d after withdrawn-port feedback not a hash fallback", p)
+			}
+
+			// Re-install restores normal operation.
+			pol.SetPaths(dst, contractPorts)
+			if p := pol.PickPort(dst, flow, 7); tc.consumesPaths && !inSet(contractPorts, p) {
+				t.Fatalf("re-installed pick %d outside set %v", p, contractPorts)
+			}
+		})
+	}
+}
+
+// TestConnConsistencyChurnProperty is the randomized battery behind the
+// conn-consistency oracle invariant: 1000 random SetPaths churn steps per
+// policy (random subsets of a port universe, including full withdrawals),
+// with a population of tracked connections picked after every step.
+//
+//   - connStable policies (Concury and its reference): a connection's port
+//     may change only when the port left the installed set — if the
+//     previous pick is still installed, the pick must be identical. This
+//     also pins bucket retention across withdraw/re-install cycles.
+//   - pureHash policies: picks never depend on churn at all.
+//   - consumesPaths policies: every pick lands in the installed set.
+func TestConnConsistencyChurnProperty(t *testing.T) {
+	const dst = packet.HostID(9)
+	universe := []uint16{1000, 1001, 1002, 1003, 1004, 1005, 1006, 1007}
+	for _, tc := range allPolicyCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			pol := tc.make()
+			flows := make([]packet.FiveTuple, 8)
+			for i := range flows {
+				flows[i] = packet.FiveTuple{Src: 1, Dst: dst, SrcPort: uint16(6000 + i), DstPort: 80, Proto: packet.ProtoTCP}
+			}
+			// lastInstalledPick[i] is flow i's most recent pick made while
+			// a non-empty set was installed (zero = none yet).
+			lastInstalledPick := make([]uint16, len(flows))
+			baseline := make([]uint16, len(flows))
+			for i, f := range flows {
+				baseline[i] = pol.PickPort(dst, f, 0)
+			}
+
+			for step := 0; step < 1000; step++ {
+				var ports []uint16
+				if rng.Intn(10) > 0 { // 1-in-10 steps fully withdraw
+					n := 1 + rng.Intn(len(universe))
+					perm := rng.Perm(len(universe))
+					for _, k := range perm[:n] {
+						ports = append(ports, universe[k])
+					}
+				}
+				pol.SetPaths(dst, ports)
+
+				for i, f := range flows {
+					got := pol.PickPort(dst, f, uint32(step))
+					if len(ports) == 0 {
+						if got < 32768 && !tc.pureHash {
+							t.Fatalf("step %d: withdrawn pick %d not a hash fallback", step, got)
+						}
+						continue
+					}
+					if tc.consumesPaths && !inSet(ports, got) {
+						t.Fatalf("step %d flow %d: pick %d outside installed %v", step, i, got, ports)
+					}
+					if tc.pureHash {
+						continue
+					}
+					if tc.connStable {
+						// Flowlet ID must be irrelevant.
+						if again := pol.PickPort(dst, f, uint32(step)+7777); again != got {
+							t.Fatalf("step %d flow %d: pick depends on flowlet ID: %d vs %d", step, i, got, again)
+						}
+						if prev := lastInstalledPick[i]; prev != 0 && inSet(ports, prev) && got != prev {
+							t.Fatalf("step %d flow %d: moved %d -> %d while %d stayed installed (set %v)",
+								step, i, prev, got, prev, ports)
+						}
+						lastInstalledPick[i] = got
+					}
+				}
+			}
+			_ = baseline
+		})
+	}
+}
+
+// TestConcuryZeroAllocPicks proves the "no per-flow state" claim mechanically:
+// the stateless data plane allocates nothing per pick, for any number of
+// distinct flows, installed or withdrawn.
+func TestConcuryZeroAllocPicks(t *testing.T) {
+	c := NewConcury()
+	const dst = packet.HostID(2)
+	c.SetPaths(dst, contractPorts)
+	var sink uint16
+	flows := make([]packet.FiveTuple, 512)
+	for i := range flows {
+		flows[i] = packet.FiveTuple{Src: 1, Dst: dst, SrcPort: uint16(i), DstPort: 80, Proto: packet.ProtoTCP}
+	}
+	probe := func() {
+		for i := range flows {
+			sink = c.PickPort(dst, flows[i], uint32(i))
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, probe); allocs != 0 {
+		t.Fatalf("installed picks allocate: %v allocs/run, want 0", allocs)
+	}
+	c.SetPaths(dst, nil)
+	if allocs := testing.AllocsPerRun(100, probe); allocs != 0 {
+		t.Fatalf("withdrawn (fallback) picks allocate: %v allocs/run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestCharonZeroAllocPicks keeps Charon's data plane allocation-free too:
+// P2C reads the per-destination table, it never writes per-flow state.
+func TestCharonZeroAllocPicks(t *testing.T) {
+	var now sim.Time
+	c := NewCharon(100*sim.Microsecond, func() sim.Time { return now })
+	const dst = packet.HostID(2)
+	c.SetPaths(dst, contractPorts)
+	c.OnFeedback(dst, packet.Feedback{Valid: true, Port: contractPorts[1], HasUtil: true, Util: 0.7}, 1)
+	var sink uint16
+	flows := make([]packet.FiveTuple, 512)
+	for i := range flows {
+		flows[i] = packet.FiveTuple{Src: 1, Dst: dst, SrcPort: uint16(i), DstPort: 80, Proto: packet.ProtoTCP}
+	}
+	probe := func() {
+		for i := range flows {
+			sink = c.PickPort(dst, flows[i], uint32(i))
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, probe); allocs != 0 {
+		t.Fatalf("charon picks allocate: %v allocs/run, want 0", allocs)
+	}
+	_ = sink
+}

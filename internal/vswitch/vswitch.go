@@ -215,6 +215,19 @@ func (v *VSwitch) Host() *netem.Host { return v.host }
 // Policy returns the installed path policy.
 func (v *VSwitch) Policy() PathPolicy { return v.policy }
 
+// SetPaths installs a discovered path set into the policy, reporting the
+// installation to the observer first (the oracle's conn-consistency
+// invariant needs to know which ports are legal before the first pick can
+// use them). All control-plane installs — the prober and the oracle-walk
+// setup — go through here; tests poking a bare policy may call
+// Policy().SetPaths directly.
+func (v *VSwitch) SetPaths(dst packet.HostID, ports []uint16) {
+	if o := v.pool.Obs(); o != nil {
+		o.PolicyPaths(v.self, dst, ports)
+	}
+	v.policy.SetPaths(dst, ports)
+}
+
 // Stats returns a snapshot of the counters.
 func (v *VSwitch) Stats() Stats { return v.stats }
 
