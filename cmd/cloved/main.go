@@ -32,6 +32,10 @@ func main() {
 		relay   = flag.Duration("relay", 250*time.Microsecond, "feedback relay interval")
 		stats   = flag.Duration("stats", 2*time.Second, "stats print interval (0 disables)")
 		keepint = flag.Duration("keepalive", 100*time.Millisecond, "keepalive/feedback-carrier interval")
+		batch   = flag.Int("batch", 0, "datagrams per batched syscall / ring depth (0 = default)")
+		bufsize = flag.Int("bufsize", 0, "transmit ring slot size in bytes (0 = default)")
+		noBatch = flag.Bool("no-batch", false, "force one-datagram-per-syscall I/O (portable path)")
+		noSeg   = flag.Bool("no-gso", false, "disable UDP GSO/GRO segmentation offload")
 	)
 	flag.Parse()
 
@@ -39,6 +43,14 @@ func main() {
 	cfg.Paths = *paths
 	cfg.FlowletGap = *gap
 	cfg.RelayInterval = *relay
+	if *batch > 0 {
+		cfg.Batch = *batch
+	}
+	if *bufsize > 0 {
+		cfg.BufSize = *bufsize
+	}
+	cfg.NoBatchSyscalls = *noBatch
+	cfg.NoSegmentation = *noSeg
 
 	ep, err := datapath.NewEndpoint(*listen, cfg)
 	if err != nil {
@@ -46,7 +58,8 @@ func main() {
 		os.Exit(1)
 	}
 	defer ep.Close()
-	fmt.Printf("paths: %v\n", ep.Ports())
+	fmt.Printf("paths: %v (batched syscalls: %v)\n", ep.Ports(),
+		datapath.BatchSyscallsSupported() && !*noBatch)
 
 	ep.SetOnRecv(func(p []byte) { fmt.Printf("<- %s\n", p) })
 
@@ -71,9 +84,10 @@ func main() {
 		go func() {
 			for range time.Tick(*stats) {
 				st := ep.Stats()
-				fmt.Printf("-- sent=%d recv=%d flowlets=%d ce=%d fb(tx=%d rx=%d) weights=%v\n",
+				fmt.Printf("-- sent=%d recv=%d flowlets=%d ce=%d fb(tx=%d rx=%d) errs(sock=%d decode=%d) weights=%v\n",
 					st.Sent, st.Received, st.Flowlets, st.CEObserved,
-					st.FeedbackSent, st.FeedbackReceived, ep.Weights())
+					st.FeedbackSent, st.FeedbackReceived,
+					st.SocketErrors, st.DecodeErrors, ep.Weights())
 				for _, r := range ep.PathRTTs() {
 					if r.Samples > 0 {
 						fmt.Printf("   path %d: rtt=%v (%d samples, %v old)\n", r.Port, r.RTT, r.Samples, r.Age.Round(time.Millisecond))

@@ -1,0 +1,192 @@
+package main
+
+// legacyEndpoint is a self-contained replica of the pre-PR-9 datapath send
+// and receive paths, kept here so dpbench can measure the speedup of the
+// batched zero-alloc datapath against the code it replaced: one global
+// mutex around all endpoint state, a fresh []byte and an append-based shim
+// marshal per transmitted datagram, a linear port->socket scan, one
+// WriteToUDP/ReadFromUDP syscall per datagram (both allocate: the write
+// converts the *net.UDPAddr, the read materializes one), and a payload
+// copy before every receive callback.
+//
+// Socket buffer sizes are matched to the new datapath (4 MB) so the
+// comparison isolates the per-packet code path, not socket tuning.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"clove/internal/clove"
+	"clove/internal/sim"
+	"clove/internal/wire"
+)
+
+const (
+	legacyFabricECT = 1 << 0
+	legacyHeaderLen = 1 + wire.SttShimLen
+	legacyShimVer   = 1
+)
+
+type legacyEndpoint struct {
+	conns  []*net.UDPConn
+	ports  []uint16
+	remote *net.UDPAddr
+
+	mu         sync.Mutex
+	onRecv     func([]byte)
+	weights    *clove.WeightTable
+	start      time.Time
+	lastSend   time.Time
+	curPort    uint16
+	flowlet    uint32
+	flowletGap time.Duration
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+func newLegacyEndpoint(localIP string, paths int, flowletGap time.Duration) (*legacyEndpoint, error) {
+	e := &legacyEndpoint{
+		start:      time.Now(),
+		flowletGap: flowletGap,
+		closed:     make(chan struct{}),
+	}
+	for i := 0; i < paths; i++ {
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.ParseIP(localIP)})
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("legacy: bind path %d: %w", i, err)
+		}
+		conn.SetReadBuffer(4 << 20)
+		conn.SetWriteBuffer(4 << 20)
+		e.conns = append(e.conns, conn)
+		e.ports = append(e.ports, uint16(conn.LocalAddr().(*net.UDPAddr).Port))
+	}
+	e.weights = clove.NewWeightTable(clove.WeightTableConfig{
+		Beta:         1.0 / 3.0,
+		Floor:        0.02,
+		CongestedAge: sim.FromDuration(time.Millisecond),
+		UtilAge:      sim.FromDuration(2 * time.Millisecond),
+	}, e.ports)
+	return e, nil
+}
+
+func (e *legacyEndpoint) Ports() []uint16 { return append([]uint16(nil), e.ports...) }
+
+func (e *legacyEndpoint) SetOnRecv(fn func([]byte)) {
+	e.mu.Lock()
+	e.onRecv = fn
+	e.mu.Unlock()
+}
+
+func (e *legacyEndpoint) Start(remote string) error {
+	addr, err := net.ResolveUDPAddr("udp", remote)
+	if err != nil {
+		return err
+	}
+	e.remote = addr
+	for _, conn := range e.conns {
+		conn := conn
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+	return nil
+}
+
+// Enqueue sends one datagram immediately — the legacy path had no
+// batching, so Enqueue==Send and Flush is a no-op.
+func (e *legacyEndpoint) Enqueue(payload []byte) error {
+	e.mu.Lock()
+	nowT := time.Now()
+	if e.lastSend.IsZero() || nowT.Sub(e.lastSend) > e.flowletGap {
+		e.curPort = e.weights.NextPort()
+		e.flowlet++
+	}
+	e.lastSend = nowT
+	port := e.curPort
+	flowlet := e.flowlet
+	e.mu.Unlock()
+
+	shim := wire.SttShim{
+		Version:    legacyShimVer,
+		FlowletID:  flowlet,
+		PathPort:   port,
+		PayloadLen: uint16(len(payload)),
+	}
+	buf := make([]byte, 1, legacyHeaderLen+len(payload))
+	buf[0] = legacyFabricECT
+	buf = shim.Marshal(buf)
+	buf = append(buf, payload...)
+
+	conn := e.connFor(port)
+	if conn == nil {
+		return fmt.Errorf("legacy: unknown path port %d", port)
+	}
+	_, err := conn.WriteToUDP(buf, e.remote)
+	return err
+}
+
+func (e *legacyEndpoint) Flush() error { return nil }
+
+func (e *legacyEndpoint) connFor(port uint16) *net.UDPConn {
+	for i, p := range e.ports {
+		if p == port {
+			return e.conns[i]
+		}
+	}
+	return nil
+}
+
+func (e *legacyEndpoint) readLoop(conn *net.UDPConn) {
+	defer e.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-e.closed:
+				return
+			default:
+				continue
+			}
+		}
+		e.handle(buf[:n])
+	}
+}
+
+func (e *legacyEndpoint) handle(b []byte) {
+	if len(b) < legacyHeaderLen {
+		return
+	}
+	var shim wire.SttShim
+	if _, err := shim.Unmarshal(b[1:]); err != nil || shim.Version != legacyShimVer {
+		return
+	}
+	payload := b[legacyHeaderLen:]
+	if int(shim.PayloadLen) != len(payload) {
+		return
+	}
+	e.mu.Lock()
+	recv := e.onRecv
+	e.mu.Unlock()
+	if recv != nil {
+		out := make([]byte, len(payload))
+		copy(out, payload)
+		recv(out)
+	}
+}
+
+func (e *legacyEndpoint) Close() error {
+	select {
+	case <-e.closed:
+	default:
+		close(e.closed)
+	}
+	for _, c := range e.conns {
+		c.Close()
+	}
+	e.wg.Wait()
+	return nil
+}

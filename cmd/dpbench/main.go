@@ -1,0 +1,431 @@
+// Command dpbench is the loopback stress harness for the PR-9 batched
+// zero-alloc datapath. It drives endpoint pairs back-to-back (and through
+// the PathEmulator) on 127.0.0.1, measures packets/sec, one-way latency
+// percentiles, and heap allocations per packet, and emits a BENCH_9.json
+// artifact in the house benchreport style (schema + per-mode samples;
+// regression gates compare best-vs-best against a committed baseline).
+//
+// Modes:
+//
+//	legacy   — replica of the pre-PR-9 per-packet path (see legacy.go)
+//	fallback — new datapath with batched syscalls disabled (portable seam)
+//	batched  — new datapath on recvmmsg/sendmmsg (linux amd64/arm64)
+//	emulated — batched datapath driven through the PathEmulator
+//
+// Gates (exit 1 on violation):
+//
+//	-baseline FILE  per-mode pps must stay within -threshold of the file
+//	-min-speedup X  batched pps must be >= X * legacy pps (same run)
+//	allocs/packet   batched and fallback must stay below 0.01 (always on)
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"clove/internal/datapath"
+)
+
+// tunnel is the slice of the endpoint API the bench drives.
+type tunnel interface {
+	Enqueue([]byte) error
+	Flush() error
+	SetOnRecv(func([]byte))
+	Ports() []uint16
+	Start(string) error
+	Close() error
+}
+
+type modeResult struct {
+	PPS             float64   `json:"pps"`
+	SamplesPPS      []float64 `json:"samples_pps"`
+	SentPPS         float64   `json:"sent_pps"`
+	Sent            int64     `json:"sent"`
+	Received        int64     `json:"received"`
+	DropRate        float64   `json:"drop_rate"`
+	P50Ns           int64     `json:"p50_ns"`
+	P99Ns           int64     `json:"p99_ns"`
+	AllocsPerPacket float64   `json:"allocs_per_packet"`
+	Batch           int       `json:"batch"`
+}
+
+type report struct {
+	Schema                 int                   `json:"schema"`
+	Go                     string                `json:"go"`
+	Note                   string                `json:"note"`
+	Modes                  map[string]modeResult `json:"modes"`
+	SpeedupBatchedVsLegacy float64               `json:"speedup_batched_vs_legacy,omitempty"`
+}
+
+type opts struct {
+	duration, warmup time.Duration
+	samples          int
+	payload          int
+	paths            int
+	batch            int
+	window           int64
+}
+
+const latRingBits = 15 // 32768 latency samples retained (newest wins)
+
+func main() {
+	var (
+		duration   = flag.Duration("duration", 2*time.Second, "length of each measured sample")
+		warmup     = flag.Duration("warmup", time.Second, "warmup before measuring")
+		samples    = flag.Int("samples", 3, "measured samples per mode (best is reported)")
+		payload    = flag.Int("payload", 512, "tenant payload bytes (>= 16 for latency stamps)")
+		paths      = flag.Int("paths", 4, "paths (sockets) per endpoint")
+		batch      = flag.Int("batch", 0, "datagrams per mmsg batch (0 = datapath default)")
+		window     = flag.Int64("window", 512, "max unacknowledged in-flight datagrams")
+		modesFlag  = flag.String("modes", "", "comma-separated mode list (default: all supported)")
+		out        = flag.String("out", "", "write JSON report to this file")
+		baseline   = flag.String("baseline", "", "gate per-mode pps against this JSON report")
+		threshold  = flag.Float64("threshold", 0.10, "allowed fractional pps regression vs baseline")
+		minSpeedup = flag.Float64("min-speedup", 0, "require batched pps >= this multiple of legacy pps (0 = off)")
+	)
+	flag.Parse()
+	if *payload < 16 {
+		fmt.Fprintln(os.Stderr, "dpbench: -payload must be >= 16")
+		os.Exit(2)
+	}
+
+	modes := []string{"legacy", "fallback"}
+	if datapath.BatchSyscallsSupported() {
+		modes = append(modes, "batched", "emulated")
+	}
+	if *modesFlag != "" {
+		modes = strings.Split(*modesFlag, ",")
+	}
+
+	o := opts{
+		duration: *duration, warmup: *warmup, samples: *samples,
+		payload: *payload, paths: *paths, batch: *batch, window: *window,
+	}
+	rep := report{
+		Schema: 1,
+		Go:     runtime.Version(),
+		Note: "loopback pair on 127.0.0.1, GOMAXPROCS=" + fmt.Sprint(runtime.GOMAXPROCS(0)) +
+			"; pps is the best sample (compare like against like, min-vs-min); " +
+			"allocs_per_packet counts both send and receive side; recorded by cmd/dpbench",
+		Modes: map[string]modeResult{},
+	}
+
+	for _, mode := range modes {
+		res, err := runMode(mode, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: mode %s: %v\n", mode, err)
+			os.Exit(1)
+		}
+		rep.Modes[mode] = res
+		fmt.Printf("%-9s %12.0f pps  (sent %12.0f pps, drop %5.2f%%)  p50 %8s  p99 %8s  allocs/pkt %.4f\n",
+			mode, res.PPS, res.SentPPS, 100*res.DropRate,
+			time.Duration(res.P50Ns), time.Duration(res.P99Ns), res.AllocsPerPacket)
+	}
+
+	if l, okL := rep.Modes["legacy"]; okL {
+		if b, okB := rep.Modes["batched"]; okB && l.PPS > 0 {
+			rep.SpeedupBatchedVsLegacy = b.PPS / l.PPS
+			fmt.Printf("speedup batched vs legacy: %.2fx\n", rep.SpeedupBatchedVsLegacy)
+		}
+	}
+
+	failed := false
+
+	// Zero-alloc gate: the rewritten datapath must not allocate per packet
+	// in either I/O flavor. (legacy and emulated are exempt: legacy is the
+	// reference being beaten, and the emulator forwards through channels.)
+	for _, m := range []string{"batched", "fallback"} {
+		if res, ok := rep.Modes[m]; ok && res.AllocsPerPacket >= 0.01 {
+			fmt.Printf("ALLOC REGRESSION: %s allocates %.4f/packet (contract: 0)\n", m, res.AllocsPerPacket)
+			failed = true
+		}
+	}
+
+	if *minSpeedup > 0 {
+		if rep.SpeedupBatchedVsLegacy < *minSpeedup {
+			fmt.Printf("SPEEDUP GATE: batched/legacy = %.2fx < required %.2fx\n",
+				rep.SpeedupBatchedVsLegacy, *minSpeedup)
+			failed = true
+		}
+	}
+
+	if *baseline != "" {
+		base, err := readReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		for name, b := range base.Modes {
+			cur, ok := rep.Modes[name]
+			if !ok {
+				continue // mode not run (e.g. platform without mmsg)
+			}
+			floor := b.PPS * (1 - *threshold)
+			if cur.PPS < floor {
+				fmt.Printf("PPS REGRESSION: %s %.0f pps < %.0f (baseline %.0f - %d%%)\n",
+					name, cur.PPS, floor, b.PPS, int(*threshold*100))
+				failed = true
+			} else {
+				fmt.Printf("gate ok: %s %.0f pps vs baseline %.0f (floor %.0f)\n",
+					name, cur.PPS, b.PPS, floor)
+			}
+		}
+	}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(&rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func readReport(path string) (*report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// newPair builds the sender/receiver tunnels for a mode. The returned
+// cleanup closes everything (emulator included).
+func newPair(mode string, o opts) (snd, rcv tunnel, cleanup func(), err error) {
+	mkCfg := func(noBatch bool) datapath.Config {
+		cfg := datapath.DefaultConfig()
+		cfg.Paths = o.paths
+		if o.batch > 0 {
+			cfg.Batch = o.batch
+		}
+		cfg.NoBatchSyscalls = noBatch
+		return cfg
+	}
+	switch mode {
+	case "legacy":
+		a, err := newLegacyEndpoint("127.0.0.1", o.paths, datapath.DefaultConfig().FlowletGap)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		b, err := newLegacyEndpoint("127.0.0.1", o.paths, datapath.DefaultConfig().FlowletGap)
+		if err != nil {
+			a.Close()
+			return nil, nil, nil, err
+		}
+		cleanup = func() { a.Close(); b.Close() }
+		if err := a.Start(fmt.Sprintf("127.0.0.1:%d", b.Ports()[0])); err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		if err := b.Start(fmt.Sprintf("127.0.0.1:%d", a.Ports()[0])); err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		return a, b, cleanup, nil
+
+	case "batched", "fallback":
+		a, err := datapath.NewEndpoint("127.0.0.1", mkCfg(mode == "fallback"))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		b, err := datapath.NewEndpoint("127.0.0.1", mkCfg(mode == "fallback"))
+		if err != nil {
+			a.Close()
+			return nil, nil, nil, err
+		}
+		cleanup = func() { a.Close(); b.Close() }
+		if err := a.Start(fmt.Sprintf("127.0.0.1:%d", b.Ports()[0])); err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		if err := b.Start(fmt.Sprintf("127.0.0.1:%d", a.Ports()[0])); err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		return a, b, cleanup, nil
+
+	case "emulated":
+		b, err := datapath.NewEndpoint("127.0.0.1", mkCfg(false))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		emu, err := datapath.NewPathEmulator("127.0.0.1",
+			fmt.Sprintf("127.0.0.1:%d", b.Ports()[0]),
+			make([]datapath.PathProfile, o.paths))
+		if err != nil {
+			b.Close()
+			return nil, nil, nil, err
+		}
+		a, err := datapath.NewEndpoint("127.0.0.1", mkCfg(false))
+		if err != nil {
+			emu.Close()
+			b.Close()
+			return nil, nil, nil, err
+		}
+		cleanup = func() { a.Close(); emu.Close(); b.Close() }
+		if err := a.Start(emu.Addr()); err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		if err := b.Start(fmt.Sprintf("127.0.0.1:%d", a.Ports()[0])); err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		return a, b, cleanup, nil
+	}
+	return nil, nil, nil, fmt.Errorf("unknown mode %q", mode)
+}
+
+func runMode(mode string, o opts) (modeResult, error) {
+	snd, rcv, cleanup, err := newPair(mode, o)
+	if err != nil {
+		return modeResult{}, err
+	}
+	defer cleanup()
+
+	// Receive side: count, and stamp one-way latency from the 8-byte
+	// monotonic send timestamp at payload[8:16]. The callback runs on a
+	// shard read loop and must not allocate.
+	var received atomic.Int64
+	latRing := make([]int64, 1<<latRingBits)
+	base := time.Now()
+	rcv.SetOnRecv(func(p []byte) {
+		n := received.Add(1)
+		if len(p) >= 16 {
+			sentNs := int64(binary.BigEndian.Uint64(p[8:16]))
+			latRing[(n-1)&(1<<latRingBits-1)] = int64(time.Since(base)) - sentNs
+		}
+	})
+	loadReceived := func() int64 { return received.Load() }
+
+	payload := make([]byte, o.payload)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	var sent, assumedLost int64
+	sendOne := func() error {
+		binary.BigEndian.PutUint64(payload[8:16], uint64(time.Since(base)))
+		if err := snd.Enqueue(payload); err != nil {
+			return err
+		}
+		sent++
+		if sent-loadReceived()-assumedLost >= o.window {
+			if err := snd.Flush(); err != nil {
+				return err
+			}
+			deadline := time.Now().Add(20 * time.Millisecond)
+			for sent-loadReceived()-assumedLost >= o.window {
+				// Sleep, don't Gosched-spin: a spinning goroutine on one
+				// core keeps the scheduler out of netpoll and the receiver
+				// only wakes on sysmon's 10ms fallback poll.
+				time.Sleep(20 * time.Microsecond)
+				if time.Now().After(deadline) {
+					// The gap is not in flight, it is lost datagrams:
+					// re-baseline so pacing does not deadlock.
+					assumedLost = sent - loadReceived()
+					break
+				}
+			}
+		}
+		return nil
+	}
+
+	runFor := func(d time.Duration) (dSent, dRecv int64, elapsed time.Duration, err error) {
+		s0, r0 := sent, loadReceived()
+		start := time.Now()
+		for {
+			for i := 0; i < 64; i++ {
+				if err := sendOne(); err != nil {
+					return 0, 0, 0, err
+				}
+			}
+			if el := time.Since(start); el >= d {
+				if err := snd.Flush(); err != nil {
+					return 0, 0, 0, err
+				}
+				// Let in-flight datagrams land so dRecv reflects dSent.
+				drainUntil := time.Now().Add(50 * time.Millisecond)
+				for loadReceived() < sent-assumedLost && time.Now().Before(drainUntil) {
+					time.Sleep(20 * time.Microsecond)
+				}
+				return sent - s0, loadReceived() - r0, time.Since(start), nil
+			}
+		}
+	}
+
+	if _, _, _, err := runFor(o.warmup); err != nil {
+		return modeResult{}, err
+	}
+
+	var m0, m1 runtime.MemStats
+	samplesPPS := make([]float64, 0, o.samples)
+	var totSent, totRecv int64
+	var totElapsed time.Duration
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < o.samples; i++ {
+		dSent, dRecv, elapsed, err := runFor(o.duration)
+		if err != nil {
+			return modeResult{}, err
+		}
+		samplesPPS = append(samplesPPS, float64(dRecv)/elapsed.Seconds())
+		totSent += dSent
+		totRecv += dRecv
+		totElapsed += elapsed
+	}
+	runtime.ReadMemStats(&m1)
+
+	res := modeResult{
+		SamplesPPS: samplesPPS,
+		Sent:       totSent,
+		Received:   totRecv,
+		Batch:      o.batch,
+	}
+	if res.Batch == 0 {
+		res.Batch = datapath.DefaultConfig().Batch
+	}
+	for _, s := range samplesPPS {
+		if s > res.PPS {
+			res.PPS = s
+		}
+	}
+	res.SentPPS = float64(totSent) / totElapsed.Seconds()
+	if totSent > 0 {
+		res.DropRate = float64(totSent-totRecv) / float64(totSent)
+	}
+	if moved := totSent + totRecv; moved > 0 {
+		res.AllocsPerPacket = float64(m1.Mallocs-m0.Mallocs) / float64(moved)
+	}
+
+	// Latency percentiles over the retained ring (newest 32768 samples).
+	n := received.Load()
+	if n > int64(len(latRing)) {
+		n = int64(len(latRing))
+	}
+	if n > 0 {
+		lat := append([]int64(nil), latRing[:n]...)
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		res.P50Ns = lat[n/2]
+		res.P99Ns = lat[n*99/100]
+	}
+	return res, nil
+}

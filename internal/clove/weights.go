@@ -62,6 +62,9 @@ type WeightTable struct {
 	// floored is normalize's scratch marker slice, retained so the
 	// per-feedback water-filling pass does not allocate.
 	floored []bool
+	// recipients is OnCongestion's scratch index slice, retained so the
+	// real datapath's feedback path stays allocation-free.
+	recipients []int
 }
 
 // NewWeightTable creates a table over the discovered ports with equal
@@ -159,7 +162,7 @@ func (t *WeightTable) OnCongestion(port uint16, now sim.Time) {
 	removed := t.paths[idx].Weight * t.cfg.Beta
 	t.paths[idx].Weight -= removed
 
-	var recipients []int
+	recipients := t.recipients[:0]
 	for i := range t.paths {
 		if i != idx && !t.congested(i, now) {
 			recipients = append(recipients, i)
@@ -181,6 +184,7 @@ func (t *WeightTable) OnCongestion(port uint16, now sim.Time) {
 	for _, i := range recipients {
 		t.paths[i].Weight += share
 	}
+	t.recipients = recipients[:0]
 	t.normalize()
 	t.syncWRR()
 }

@@ -49,8 +49,9 @@ func TestEndpointDelivery(t *testing.T) {
 	var mu sync.Mutex
 	var last []byte
 	b.SetOnRecv(func(p []byte) {
+		// p aliases a shard receive buffer: copy to retain.
 		mu.Lock()
-		last = p
+		last = append(last[:0], p...)
 		mu.Unlock()
 		got.Add(1)
 	})
@@ -231,7 +232,7 @@ func TestEmulatorPreservesPayload(t *testing.T) {
 
 func TestEndpointDecodeErrorCounted(t *testing.T) {
 	a, _ := pair(t, DefaultConfig())
-	a.handle([]byte{1, 2, 3}, nil)
+	a.handleFrame(a.shards[0], []byte{1, 2, 3}, 0)
 	if a.Stats().DecodeErrors != 1 {
 		t.Error("decode error not counted")
 	}

@@ -3,6 +3,7 @@ package datapath
 import (
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"time"
 )
@@ -18,6 +19,7 @@ type PathEmulator struct {
 	ingress *net.UDPConn
 	out     *net.UDPConn
 	dest    *net.UDPAddr
+	destAP  netip.AddrPort
 
 	mu    sync.Mutex
 	paths map[uint16]*emuPath // keyed by sender path port
@@ -25,8 +27,34 @@ type PathEmulator struct {
 	nextIdx  int
 	profiles []PathProfile
 
+	// freeBufs recycles packet buffers between the ingress reader and the
+	// per-path drains so the steady-state forwarding path does not allocate
+	// (a datagram is read straight into a pooled buffer, queued, written
+	// out, and the buffer returned).
+	freeBufs chan []byte
+
 	closed chan struct{}
 	wg     sync.WaitGroup
+}
+
+// emuPoolSize bounds the buffer free list (beyond it, buffers are dropped
+// to the garbage collector; under it, new ones are allocated on demand).
+const emuPoolSize = 1024
+
+func (e *PathEmulator) getBuf() []byte {
+	select {
+	case b := <-e.freeBufs:
+		return b[:cap(b)]
+	default:
+		return make([]byte, 65536)
+	}
+}
+
+func (e *PathEmulator) putBuf(b []byte) {
+	select {
+	case e.freeBufs <- b:
+	default:
+	}
 }
 
 // PathProfile shapes one emulated path.
@@ -68,12 +96,17 @@ func NewPathEmulator(localIP string, dest string, profiles []PathProfile) (*Path
 		out.Close()
 		return nil, fmt.Errorf("datapath: emulator dest: %w", err)
 	}
+	ingress.SetReadBuffer(4 << 20)
+	out.SetWriteBuffer(4 << 20)
+	destAP := destAddr.AddrPort()
 	e := &PathEmulator{
 		ingress:  ingress,
 		out:      out,
 		dest:     destAddr,
+		destAP:   netip.AddrPortFrom(destAP.Addr().Unmap(), destAP.Port()),
 		paths:    map[uint16]*emuPath{},
 		profiles: profiles,
+		freeBufs: make(chan []byte, emuPoolSize),
 		closed:   make(chan struct{}),
 	}
 	e.wg.Add(1)
@@ -84,13 +117,17 @@ func NewPathEmulator(localIP string, dest string, profiles []PathProfile) (*Path
 // Addr returns the emulator's ingress address (point endpoints here).
 func (e *PathEmulator) Addr() string { return e.ingress.LocalAddr().String() }
 
-// run receives and dispatches datagrams to per-path queues.
+// run receives and dispatches datagrams to per-path queues. Each datagram
+// is read directly into a pooled buffer that travels through the path
+// queue and returns to the pool after the egress write — no per-packet
+// allocation or copy in steady state.
 func (e *PathEmulator) run() {
 	defer e.wg.Done()
-	buf := make([]byte, 65536)
 	for {
-		n, _, err := e.ingress.ReadFromUDP(buf)
+		buf := e.getBuf()
+		n, _, err := e.ingress.ReadFromUDPAddrPort(buf)
 		if err != nil {
+			e.putBuf(buf)
 			select {
 			case <-e.closed:
 				return
@@ -98,9 +135,7 @@ func (e *PathEmulator) run() {
 				continue
 			}
 		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
-		e.dispatch(pkt)
+		e.dispatch(buf[:n])
 	}
 }
 
@@ -143,7 +178,8 @@ func (e *PathEmulator) dispatch(pkt []byte) {
 		p.depth++
 		p.mu.Unlock()
 	default:
-		// drop-tail
+		// drop-tail: recycle the buffer
+		e.putBuf(pkt)
 	}
 }
 
@@ -165,7 +201,8 @@ func (e *PathEmulator) drain(p *emuPath) {
 			if p.profile.Delay > 0 {
 				time.Sleep(p.profile.Delay)
 			}
-			e.out.WriteToUDP(pkt, e.dest)
+			e.out.WriteToUDPAddrPort(pkt, e.destAP)
+			e.putBuf(pkt)
 		}
 	}
 }

@@ -11,12 +11,37 @@
 // each datagram carries a one-byte fabric prefix standing in for the outer
 // IP ECN field; the PathEmulator (and any Clove-aware middle hop) marks it
 // under queueing. DESIGN.md documents this substitution.
+//
+// # Performance model (PR 9)
+//
+// The packet path is engineered with the same zero-allocation discipline as
+// the simulator's hot path:
+//
+//   - Each path socket is a shard: its read loop goroutine owns a
+//     preallocated receive ring, its transmit side owns a preallocated send
+//     ring, and receive-side observations live in shard-private state. No
+//     global mutex is taken per packet.
+//   - On linux/amd64 and linux/arm64, datagrams move in batches via raw
+//     recvmmsg/sendmmsg syscalls (mmsg_linux.go); everywhere else — and
+//     under Config.NoBatchSyscalls — a portable one-datagram-per-syscall
+//     path using the allocation-free netip socket API is used instead. The
+//     two paths are differential-tested byte-identical.
+//   - The steady-state Send and receive paths perform zero heap
+//     allocations (asserted by tests); payloads larger than a ring slot
+//     take a documented allocating slow path.
+//
+// Ownership contract: the payload slice passed to the SetOnRecv callback
+// aliases a shard-owned receive buffer and is valid only for the duration
+// of the call. Callbacks that retain the payload must copy it.
 package datapath
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clove/internal/clove"
@@ -39,6 +64,32 @@ const shimVersion = 1
 // shim Flags bit marking a keepalive/feedback-only datagram.
 const shimFlagBare = 1 << 5
 
+// MaxPayload is the largest payload the shim's 16-bit length field can
+// describe. Larger payloads are rejected with ErrPayloadTooLarge instead of
+// being silently truncated to len mod 65536 and garbled at the peer.
+const MaxPayload = 65535
+
+// Ring and buffer defaults (see Config.Batch / Config.BufSize).
+const (
+	DefaultBatch   = 32
+	DefaultBufSize = 2048
+)
+
+// ErrPayloadTooLarge is returned by Send/Enqueue for payloads over
+// MaxPayload bytes.
+var ErrPayloadTooLarge = errors.New("datapath: payload exceeds 65535 bytes")
+
+// errNoRemote is returned when transmitting before Start.
+var errNoRemote = errors.New("datapath: no remote configured (call Start first)")
+
+// Read-loop error backoff bounds: a persistent socket error must not
+// busy-spin the shard goroutine, so consecutive failures sleep with
+// exponential backoff between these bounds.
+const (
+	errBackoffMin = time.Millisecond
+	errBackoffMax = 100 * time.Millisecond
+)
+
 // Config parameterizes an endpoint.
 type Config struct {
 	// Paths is the number of distinct outer source ports (= sockets) used.
@@ -49,6 +100,26 @@ type Config struct {
 	RelayInterval time.Duration
 	// Beta is the weight reduction on congestion feedback.
 	Beta float64
+	// Batch is the depth of each shard's preallocated send and receive
+	// rings: the maximum datagrams moved by one batched syscall and the
+	// coalescing bound for Enqueue. 0 means DefaultBatch.
+	Batch int
+	// BufSize is the capacity of one ring slot (fabric byte + shim +
+	// payload). Payloads that do not fit a slot are sent through an
+	// allocating slow path; received datagrams larger than a slot are
+	// truncated by the kernel and counted as decode errors. 0 means
+	// DefaultBufSize.
+	BufSize int
+	// NoBatchSyscalls forces the portable one-datagram-per-syscall I/O
+	// path even on platforms where recvmmsg/sendmmsg batching is
+	// available. Used by differential tests and apples-to-apples
+	// benchmarks.
+	NoBatchSyscalls bool
+	// NoSegmentation disables UDP GSO/GRO on the batched path (one
+	// super-datagram per flush segmented by the kernel), leaving plain
+	// sendmmsg/recvmmsg. Only meaningful where batched syscalls are in
+	// use; support is probed per socket at Start and degrades silently.
+	NoSegmentation bool
 }
 
 // DefaultConfig returns LAN-scale defaults.
@@ -58,6 +129,8 @@ func DefaultConfig() Config {
 		FlowletGap:    500 * time.Microsecond,
 		RelayInterval: 250 * time.Microsecond,
 		Beta:          1.0 / 3.0,
+		Batch:         DefaultBatch,
+		BufSize:       DefaultBufSize,
 	}
 }
 
@@ -69,41 +142,63 @@ type Stats struct {
 	FeedbackReceived int64
 	Flowlets         int64
 	DecodeErrors     int64
-	ProbesSent       int64
-	ProbesAnswered   int64
-	ProbeEchoes      int64
+	// SocketErrors counts receive/transmit syscall failures (excluding
+	// clean shutdown). A persistently erroring socket backs off instead of
+	// spinning; this counter makes that visible.
+	SocketErrors   int64
+	ProbesSent     int64
+	ProbesAnswered int64
+	ProbeEchoes    int64
 }
 
 // Endpoint is one side of a Clove tunnel.
 type Endpoint struct {
-	cfg    Config
-	conns  []*net.UDPConn
-	ports  []uint16 // local source ports, one per path
-	remote *net.UDPAddr
+	cfg     Config
+	batch   int
+	bufSize int
 
-	mu       sync.Mutex
-	onRecv   func(payload []byte)
-	weights  *clove.WeightTable
-	start    time.Time
+	shards  []*pathShard
+	ports   []uint16 // local source ports, one per path
+	portIdx []int16  // dense port -> shard index + 1 (0 = unknown)
+
+	remote   *net.UDPAddr
+	remoteAP netip.AddrPort
+
+	onRecv atomic.Pointer[func(payload []byte)]
+	start  time.Time
+
+	// Send-path state: flowlet tracking and the feedback-relay cursor.
+	// This lock is never taken by the per-packet receive path.
+	sendMu   sync.Mutex
 	lastSend time.Time
 	curPort  uint16
 	flowlet  uint32
-	// receiver-side observations of the peer's forward paths.
-	obs   map[uint16]*obsEntry
-	stats Stats
+	fbShard  int // round-robin cursor over shards for feedback relay
+
+	// curPortA mirrors curPort for lock-free reads from receive shards
+	// (probe answering).
+	curPortA atomic.Uint32
+
+	// The weight table is read-mostly from the send path (NextPort per
+	// flowlet) and written only on feedback arrival, so it sits behind its
+	// own small mutex rather than the send-path lock.
+	wmu     sync.Mutex
+	weights *clove.WeightTable
 
 	// path-quality probing (ProbePaths).
+	probeMu  sync.Mutex
 	probeSeq uint32
 	probes   map[uint32]probeState
 	rtts     map[uint16]*rttSample
 
+	// Send-side counters (the receive side counts per shard).
+	sent         atomic.Int64
+	flowlets     atomic.Int64
+	feedbackSent atomic.Int64
+	probesSent   atomic.Int64
+
 	wg     sync.WaitGroup
 	closed chan struct{}
-}
-
-type obsEntry struct {
-	pendingECN bool
-	lastRelay  time.Time
 }
 
 // NewEndpoint creates an endpoint bound to cfg.Paths UDP sockets on
@@ -112,11 +207,24 @@ func NewEndpoint(localIP string, cfg Config) (*Endpoint, error) {
 	if cfg.Paths <= 0 {
 		return nil, fmt.Errorf("datapath: need at least one path, got %d", cfg.Paths)
 	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	bufSize := cfg.BufSize
+	if bufSize <= 0 {
+		bufSize = DefaultBufSize
+	}
+	if bufSize < headerLen+1 {
+		bufSize = headerLen + 1
+	}
 	e := &Endpoint{
-		cfg:    cfg,
-		obs:    map[uint16]*obsEntry{},
-		start:  time.Now(),
-		closed: make(chan struct{}),
+		cfg:     cfg,
+		batch:   batch,
+		bufSize: bufSize,
+		portIdx: make([]int16, 1<<16),
+		start:   time.Now(),
+		closed:  make(chan struct{}),
 	}
 	for i := 0; i < cfg.Paths; i++ {
 		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.ParseIP(localIP)})
@@ -124,8 +232,19 @@ func NewEndpoint(localIP string, cfg Config) (*Endpoint, error) {
 			e.Close()
 			return nil, fmt.Errorf("datapath: bind path %d: %w", i, err)
 		}
-		e.conns = append(e.conns, conn)
-		e.ports = append(e.ports, uint16(conn.LocalAddr().(*net.UDPAddr).Port))
+		// Large socket buffers absorb scheduling gaps between batched
+		// drains; best-effort (the OS may clamp).
+		conn.SetReadBuffer(4 << 20)
+		conn.SetWriteBuffer(4 << 20)
+		sh, err := newPathShard(e, i, conn)
+		if err != nil {
+			conn.Close()
+			e.Close()
+			return nil, fmt.Errorf("datapath: shard %d: %w", i, err)
+		}
+		e.shards = append(e.shards, sh)
+		e.ports = append(e.ports, sh.port)
+		e.portIdx[sh.port] = int16(i + 1)
 	}
 	wcfg := clove.WeightTableConfig{
 		Beta:         cfg.Beta,
@@ -139,27 +258,51 @@ func NewEndpoint(localIP string, cfg Config) (*Endpoint, error) {
 
 // SetOnRecv installs the handler for decapsulated tenant payloads. Safe to
 // call at any time, including after Start.
+//
+// Ownership: the payload aliases a receive-ring buffer owned by the
+// delivering shard and is only valid until the callback returns; copy it to
+// retain it.
 func (e *Endpoint) SetOnRecv(fn func(payload []byte)) {
-	e.mu.Lock()
-	e.onRecv = fn
-	e.mu.Unlock()
+	if fn == nil {
+		e.onRecv.Store(nil)
+		return
+	}
+	e.onRecv.Store(&fn)
 }
 
 // Ports returns the endpoint's local source ports (its path identifiers).
 func (e *Endpoint) Ports() []uint16 { return append([]uint16(nil), e.ports...) }
 
+// BatchSyscallsSupported reports whether this platform has the batched
+// recvmmsg/sendmmsg fast path compiled in (Config.NoBatchSyscalls opts a
+// single endpoint out of it at runtime).
+func BatchSyscallsSupported() bool { return batchSyscallsAvailable }
+
 // Weights returns the current path-weight snapshot.
 func (e *Endpoint) Weights() map[uint16]float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
 	return e.weights.Weights()
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, aggregated across shards.
 func (e *Endpoint) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	s := Stats{
+		Sent:         e.sent.Load(),
+		Flowlets:     e.flowlets.Load(),
+		FeedbackSent: e.feedbackSent.Load(),
+		ProbesSent:   e.probesSent.Load(),
+	}
+	for _, sh := range e.shards {
+		s.Received += sh.stats.received.Load()
+		s.CEObserved += sh.stats.ceObserved.Load()
+		s.FeedbackReceived += sh.stats.feedbackReceived.Load()
+		s.DecodeErrors += sh.stats.decodeErrors.Load()
+		s.SocketErrors += sh.stats.socketErrors.Load()
+		s.ProbesAnswered += sh.stats.probesAnswered.Load()
+		s.ProbeEchoes += sh.stats.probeEchoes.Load()
+	}
+	return s
 }
 
 // Start connects the tunnel to the remote address (the peer's path-0 port
@@ -170,10 +313,18 @@ func (e *Endpoint) Start(remote string) error {
 		return fmt.Errorf("datapath: resolve %q: %w", remote, err)
 	}
 	e.remote = addr
-	for _, conn := range e.conns {
-		conn := conn
+	// Unmap 4-in-6 (::ffff:a.b.c.d) so WriteToUDPAddrPort accepts the
+	// address on IPv4 sockets.
+	ap := addr.AddrPort()
+	e.remoteAP = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	for _, sh := range e.shards {
+		if err := sh.initIO(e.remoteAP); err != nil {
+			return fmt.Errorf("datapath: path %d I/O setup: %w", sh.idx, err)
+		}
+	}
+	for _, sh := range e.shards {
 		e.wg.Add(1)
-		go e.readLoop(conn)
+		go sh.readLoop()
 	}
 	return nil
 }
@@ -181,154 +332,203 @@ func (e *Endpoint) Start(remote string) error {
 // now returns monotonic time as sim.Time for the shared weight logic.
 func (e *Endpoint) now() sim.Time { return sim.FromDuration(time.Since(e.start)) }
 
+// shardFor maps a local path port to its shard via the dense index.
+func (e *Endpoint) shardFor(port uint16) *pathShard {
+	if i := e.portIdx[port]; i > 0 {
+		return e.shards[i-1]
+	}
+	return nil
+}
+
 // Send encapsulates payload and transmits it on the current flowlet's path,
-// piggybacking pending feedback.
-func (e *Endpoint) Send(payload []byte) error {
-	e.mu.Lock()
+// piggybacking pending feedback. It flushes the path's send ring, so the
+// datagram (and any batch built up by Enqueue) is on the wire when Send
+// returns.
+func (e *Endpoint) Send(payload []byte) error { return e.send(payload, true) }
+
+// Enqueue is Send's batching variant: the datagram is placed in its path's
+// preallocated send ring and the ring is flushed with one batched syscall
+// when it fills (Config.Batch datagrams) or when Send/Flush is called.
+// High-throughput callers use Enqueue in their inner loop and Flush at
+// natural boundaries.
+func (e *Endpoint) Enqueue(payload []byte) error { return e.send(payload, false) }
+
+func (e *Endpoint) send(payload []byte, flush bool) error {
+	if len(payload) > MaxPayload {
+		return ErrPayloadTooLarge
+	}
+	e.sendMu.Lock()
 	nowT := time.Now()
 	if e.lastSend.IsZero() || nowT.Sub(e.lastSend) > e.cfg.FlowletGap {
+		e.wmu.Lock()
 		e.curPort = e.weights.NextPort()
+		e.wmu.Unlock()
+		e.curPortA.Store(uint32(e.curPort))
 		e.flowlet++
-		e.stats.Flowlets++
+		e.flowlets.Add(1)
 	}
 	e.lastSend = nowT
 	port := e.curPort
 	flowlet := e.flowlet
 	fb := e.takeFeedbackLocked(nowT)
-	e.stats.Sent++
+	e.sendMu.Unlock()
+	e.sent.Add(1)
 	if fb.Valid {
-		e.stats.FeedbackSent++
+		e.feedbackSent.Add(1)
 	}
-	e.mu.Unlock()
-
-	return e.transmit(port, flowlet, fb, payload, 0)
+	return e.transmitOpt(port, flowlet, fb, payload, 0, flush)
 }
 
-// transmit builds and sends a datagram out the socket bound to port.
-func (e *Endpoint) transmit(port uint16, flowlet uint32, fb wire.Feedback, payload []byte, extraFlags uint8) error {
-	shim := wire.SttShim{
-		Version:   shimVersion,
-		Flags:     extraFlags,
-		FlowletID: flowlet,
-		Feedback:  fb,
-		PathPort:  port,
+// Flush pushes every shard's pending send ring to the wire. It returns the
+// first error encountered (all shards are still flushed).
+func (e *Endpoint) Flush() error {
+	var first error
+	for _, sh := range e.shards {
+		sh.txMu.Lock()
+		if err := sh.flushLocked(); err != nil && first == nil {
+			first = err
+		}
+		sh.txMu.Unlock()
 	}
-	shim.PayloadLen = uint16(len(payload))
-	buf := make([]byte, 1, headerLen+len(payload))
-	buf[0] = fabricECT
-	buf = shim.Marshal(buf)
-	buf = append(buf, payload...)
+	return first
+}
 
-	conn := e.connFor(port)
-	if conn == nil {
+// transmit builds and immediately sends a datagram out the socket bound to
+// port (control traffic: keepalives, probes, probe echoes).
+func (e *Endpoint) transmit(port uint16, flowlet uint32, fb wire.Feedback, payload []byte, extraFlags uint8) error {
+	return e.transmitOpt(port, flowlet, fb, payload, extraFlags, true)
+}
+
+// transmitOpt encodes one datagram into the port's send ring and flushes it
+// if requested (or if the ring filled).
+func (e *Endpoint) transmitOpt(port uint16, flowlet uint32, fb wire.Feedback, payload []byte, extraFlags uint8, flush bool) error {
+	if e.remote == nil {
+		return errNoRemote
+	}
+	sh := e.shardFor(port)
+	if sh == nil {
 		return fmt.Errorf("datapath: unknown path port %d", port)
 	}
-	_, err := conn.WriteToUDP(buf, e.remote)
-	return err
-}
+	frameLen := headerLen + len(payload)
 
-func (e *Endpoint) connFor(port uint16) *net.UDPConn {
-	for i, p := range e.ports {
-		if p == port {
-			return e.conns[i]
+	sh.txMu.Lock()
+	defer sh.txMu.Unlock()
+	if frameLen > e.bufSize {
+		// Slow path for oversize payloads: flush what is queued so order
+		// holds, then send from a one-off buffer. This allocates; size
+		// BufSize for the workload to stay on the zero-alloc path.
+		if err := sh.flushLocked(); err != nil {
+			return err
 		}
+		buf := make([]byte, frameLen)
+		encodeFrame(buf, port, flowlet, fb, payload, extraFlags)
+		return sh.writeOne(buf)
+	}
+	slot := sh.txBufs[sh.txCnt]
+	n := encodeFrame(slot[:frameLen], port, flowlet, fb, payload, extraFlags)
+	sh.txLen[sh.txCnt] = n
+	sh.txCnt++
+	if flush || sh.txCnt == len(sh.txBufs) {
+		return sh.flushLocked()
 	}
 	return nil
 }
 
-// readLoop receives datagrams on one socket.
-func (e *Endpoint) readLoop(conn *net.UDPConn) {
-	defer e.wg.Done()
-	buf := make([]byte, 65536)
-	for {
-		n, src, err := conn.ReadFromUDP(buf)
-		if err != nil {
-			select {
-			case <-e.closed:
-				return
-			default:
-				continue
-			}
-		}
-		e.handle(buf[:n], src)
+// encodeFrame writes fabric byte + shim + payload into dst (sized by the
+// caller) and returns the frame length. Zero allocations.
+func encodeFrame(dst []byte, port uint16, flowlet uint32, fb wire.Feedback, payload []byte, extraFlags uint8) int {
+	shim := wire.SttShim{
+		Version:    shimVersion,
+		Flags:      extraFlags,
+		FlowletID:  flowlet,
+		Feedback:   fb,
+		PathPort:   port,
+		PayloadLen: uint16(len(payload)),
 	}
+	dst[0] = fabricECT
+	shim.Put(dst[1:])
+	n := copy(dst[headerLen:], payload)
+	return headerLen + n
 }
 
-// handle processes one received datagram.
-func (e *Endpoint) handle(b []byte, src *net.UDPAddr) {
+// handleFrame processes one received datagram on sh's goroutine. b aliases
+// the shard's receive ring (or the portable read buffer); everything that
+// escapes this call must be copied.
+func (e *Endpoint) handleFrame(sh *pathShard, b []byte, srcPort uint16) {
 	if len(b) < headerLen {
-		e.countDecodeError()
+		sh.stats.decodeErrors.Add(1)
 		return
 	}
 	fabric := b[0]
 	var shim wire.SttShim
 	if _, err := shim.Unmarshal(b[1:]); err != nil || shim.Version != shimVersion {
-		e.countDecodeError()
+		sh.stats.decodeErrors.Add(1)
 		return
 	}
 	payload := b[headerLen:]
 	if int(shim.PayloadLen) != len(payload) {
-		e.countDecodeError()
+		sh.stats.decodeErrors.Add(1)
 		return
 	}
 
 	switch {
 	case shim.Flags&shimFlagProbe != 0:
-		e.handleProbe(&shim)
+		e.handleProbe(sh, &shim)
 		return
 	case shim.Flags&shimFlagProbeEcho != 0:
-		e.handleProbeEcho(&shim)
+		e.handleProbeEcho(sh, &shim)
 		return
 	}
 
 	// The shim restates the sender's outer source port so path attribution
 	// survives middle hops that rewrite the outer header (the emulator, a
-	// NAT). Direct tunnels could use src.Port; the shim is authoritative.
+	// NAT). Direct tunnels could use the datagram source; the shim is
+	// authoritative.
 	peerPort := shim.PathPort
 	if peerPort == 0 {
-		peerPort = uint16(src.Port)
+		peerPort = srcPort
 	}
 
-	e.mu.Lock()
-	e.stats.Received++
+	sh.stats.received.Add(1)
 	if fabric&fabricCE != 0 {
-		e.stats.CEObserved++
-		ob := e.obs[peerPort]
-		if ob == nil {
-			ob = &obsEntry{lastRelay: time.Now().Add(-time.Hour)}
-			e.obs[peerPort] = ob
-		}
-		ob.pendingECN = true
+		sh.stats.ceObserved.Add(1)
+		sh.noteCE(peerPort)
 	}
 	if shim.Feedback.Valid {
-		e.stats.FeedbackReceived++
+		sh.stats.feedbackReceived.Add(1)
+		e.wmu.Lock()
 		if shim.Feedback.ECN {
 			e.weights.OnCongestion(shim.Feedback.Port, e.now())
 		}
 		if shim.Feedback.HasUtil {
 			e.weights.OnUtilization(shim.Feedback.Port, shim.Feedback.Util, e.now())
 		}
+		e.wmu.Unlock()
 	}
-	recv := e.onRecv
-	bare := shim.Flags&shimFlagBare != 0
-	e.mu.Unlock()
-
-	if recv != nil && !bare {
-		out := make([]byte, len(payload))
-		copy(out, payload)
-		recv(out)
+	if recv := e.onRecv.Load(); recv != nil && shim.Flags&shimFlagBare == 0 {
+		(*recv)(payload)
 	}
 }
 
-// takeFeedbackLocked picks one due observation for piggybacking.
+// takeFeedbackLocked picks one due observation for piggybacking. Selection
+// is deterministic: shards are visited round-robin from a persistent
+// cursor, and within a shard entries are round-robin in first-observed
+// order, so every congested peer path gets relayed in bounded turns (a Go
+// map iteration here would relay an arbitrary one). Caller holds sendMu.
 func (e *Endpoint) takeFeedbackLocked(now time.Time) wire.Feedback {
-	for port, ob := range e.obs {
-		if !ob.pendingECN || now.Sub(ob.lastRelay) < e.cfg.RelayInterval {
-			continue
+	ns := len(e.shards)
+	for k := 0; k < ns; k++ {
+		idx := e.fbShard + k
+		if idx >= ns {
+			idx -= ns
 		}
-		ob.pendingECN = false
-		ob.lastRelay = now
-		return wire.Feedback{Valid: true, Port: port, ECN: true}
+		if port, ok := e.shards[idx].takeFeedbackRR(now, e.cfg.RelayInterval); ok {
+			e.fbShard = idx + 1
+			if e.fbShard >= ns {
+				e.fbShard = 0
+			}
+			return wire.Feedback{Valid: true, Port: port, ECN: true}
+		}
 	}
 	return wire.Feedback{}
 }
@@ -336,11 +536,13 @@ func (e *Endpoint) takeFeedbackLocked(now time.Time) wire.Feedback {
 // Keepalive sends a payload-less datagram (feedback carrier / BFD-style
 // liveness) on every path.
 func (e *Endpoint) Keepalive() {
-	e.mu.Lock()
+	e.sendMu.Lock()
 	fb := e.takeFeedbackLocked(time.Now())
-	ports := append([]uint16(nil), e.ports...)
-	e.mu.Unlock()
-	for _, port := range ports {
+	e.sendMu.Unlock()
+	if fb.Valid {
+		e.feedbackSent.Add(1)
+	}
+	for _, port := range e.ports {
 		e.transmit(port, 0, fb, nil, shimFlagBare)
 		fb = wire.Feedback{}
 	}
@@ -353,15 +555,9 @@ func (e *Endpoint) Close() error {
 	default:
 		close(e.closed)
 	}
-	for _, c := range e.conns {
-		c.Close()
+	for _, sh := range e.shards {
+		sh.conn.Close()
 	}
 	e.wg.Wait()
 	return nil
-}
-
-func (e *Endpoint) countDecodeError() {
-	e.mu.Lock()
-	e.stats.DecodeErrors++
-	e.mu.Unlock()
 }

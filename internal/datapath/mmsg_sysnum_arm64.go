@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package datapath
+
+// recvmmsg/sendmmsg syscall numbers (sendmmsg postdates the stdlib syscall
+// table freeze, so both are spelled out per target).
+const (
+	sysRecvmmsg uintptr = 243
+	sysSendmmsg uintptr = 269
+)

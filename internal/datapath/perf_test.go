@@ -1,0 +1,391 @@
+package datapath
+
+// PR 9 battery: zero-allocation contracts for the steady-state send and
+// receive paths, batched-vs-fallback differential equivalence, read-loop
+// error backoff, payload-size boundaries, and deterministic feedback relay.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"clove/internal/wire"
+)
+
+// pairCfg creates a connected a->b, b->a endpoint pair with cfg.
+func pairCfg(t *testing.T, cfg Config) (*Endpoint, *Endpoint) {
+	t.Helper()
+	a, err := NewEndpoint("127.0.0.1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEndpoint("127.0.0.1", cfg)
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	if err := a.Start(fmt.Sprintf("127.0.0.1:%d", b.Ports()[0])); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(fmt.Sprintf("127.0.0.1:%d", a.Ports()[0])); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// --- payload-size boundary (silent uint16 truncation fix) ---
+
+func TestSendPayloadSizeBoundary(t *testing.T) {
+	a, _ := pair(t, DefaultConfig())
+	// 65535 is representable in the shim: it must not be rejected as
+	// oversize. (The kernel may still refuse the oversized datagram with
+	// EMSGSIZE — that is a socket-level error, not silent truncation.)
+	if err := a.Send(make([]byte, MaxPayload)); errors.Is(err, ErrPayloadTooLarge) {
+		t.Errorf("65535-byte payload rejected as too large: %v", err)
+	}
+	// 65536 would wrap PayloadLen to 0 and arrive garbled: explicit error.
+	if err := a.Send(make([]byte, MaxPayload+1)); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Errorf("65536-byte payload not rejected, got %v", err)
+	}
+	if err := a.Enqueue(make([]byte, MaxPayload+1)); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Errorf("Enqueue 65536-byte payload not rejected, got %v", err)
+	}
+}
+
+// --- deterministic feedback relay (map-iteration fix) ---
+
+func TestTakeFeedbackRoundRobinDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Paths = 1
+	cfg.RelayInterval = 0
+	e, err := NewEndpoint("127.0.0.1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	sh := e.shards[0]
+	for _, p := range []uint16{10, 20, 30} {
+		sh.noteCE(p)
+	}
+	now := time.Now()
+	take := func() uint16 {
+		fb := e.takeFeedbackLocked(now)
+		if !fb.Valid {
+			t.Fatal("no feedback due")
+		}
+		return fb.Port
+	}
+	// First-observed order, not map order.
+	if got := []uint16{take(), take(), take()}; got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("relay order = %v, want [10 20 30]", got)
+	}
+	// Round-robin continuation: a re-pending early port must not starve
+	// later ports — after relaying 10 again the cursor resumes at 20.
+	for _, p := range []uint16{10, 20, 30} {
+		sh.noteCE(p)
+	}
+	if got := take(); got != 10 {
+		t.Fatalf("second round starts at %d, want 10", got)
+	}
+	sh.noteCE(10)
+	if got := []uint16{take(), take(), take()}; got[0] != 20 || got[1] != 30 || got[2] != 10 {
+		t.Fatalf("round-robin order = %v, want [20 30 10]", got)
+	}
+	if fb := e.takeFeedbackLocked(now); fb.Valid {
+		t.Fatalf("spurious feedback %+v", fb)
+	}
+}
+
+func TestTakeFeedbackRotatesShards(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Paths = 2
+	cfg.RelayInterval = 0
+	e, err := NewEndpoint("127.0.0.1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.shards[0].noteCE(10)
+	e.shards[1].noteCE(99)
+	e.shards[0].noteCE(11)
+	now := time.Now()
+	var got []uint16
+	for i := 0; i < 3; i++ {
+		fb := e.takeFeedbackLocked(now)
+		if !fb.Valid {
+			t.Fatalf("feedback %d not due", i)
+		}
+		got = append(got, fb.Port)
+	}
+	// Shards alternate: shard0's first entry, shard1's entry, shard0 again.
+	if got[0] != 10 || got[1] != 99 || got[2] != 11 {
+		t.Fatalf("cross-shard relay order = %v, want [10 99 11]", got)
+	}
+}
+
+// --- read-loop backoff (busy-spin fix) ---
+
+func TestNextBackoffBounded(t *testing.T) {
+	d := errBackoffMin
+	seen := []time.Duration{d}
+	for i := 0; i < 12; i++ {
+		d = nextBackoff(d)
+		seen = append(seen, d)
+	}
+	if seen[1] != 2*errBackoffMin {
+		t.Errorf("backoff does not double: %v", seen[:3])
+	}
+	if d != errBackoffMax {
+		t.Errorf("backoff cap = %v, want %v", d, errBackoffMax)
+	}
+	if nextBackoff(errBackoffMax) != errBackoffMax {
+		t.Error("backoff exceeds cap")
+	}
+}
+
+func TestReadLoopNoBusySpinOnSocketError(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Paths = 2
+	a, b := pairCfg(t, cfg)
+	b.SetOnRecv(func([]byte) {})
+
+	// Kill one of a's sockets out from under its read loop (not via
+	// Close): the loop must count the error and terminate — the old code
+	// hot-spun on `continue` forever.
+	a.shards[1].conn.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Stats().SocketErrors == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	n1 := a.Stats().SocketErrors
+	if n1 == 0 {
+		t.Fatal("socket error never counted")
+	}
+	time.Sleep(100 * time.Millisecond)
+	if n2 := a.Stats().SocketErrors; n2 != n1 {
+		t.Errorf("socket error counter still growing (%d -> %d): read loop is spinning", n1, n2)
+	}
+	// The surviving paths still deliver.
+	var got int64
+	var mu sync.Mutex
+	b.SetOnRecv(func([]byte) { mu.Lock(); got++; mu.Unlock() })
+	for i := 0; i < 5; i++ {
+		// Path 0 is b's ingress; a's dead socket only breaks a's own
+		// receive on path 1.
+		if err := a.transmit(a.ports[0], 1, wire.Feedback{}, []byte("x"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 2*time.Second, func() bool { mu.Lock(); defer mu.Unlock(); return got == 5 }, "delivery after socket loss")
+}
+
+// --- batched vs fallback differential ---
+
+// collectPayloads drains n seq-tagged payloads into an indexed table.
+type collector struct {
+	mu   sync.Mutex
+	got  map[int][]byte
+	dups int
+}
+
+func newCollector() *collector { return &collector{got: map[int][]byte{}} }
+
+func (c *collector) fn(p []byte) {
+	if len(p) < 4 {
+		return
+	}
+	seq := int(p[0])<<24 | int(p[1])<<16 | int(p[2])<<8 | int(p[3])
+	c.mu.Lock()
+	if _, ok := c.got[seq]; ok {
+		c.dups++
+	} else {
+		c.got[seq] = append([]byte(nil), p...)
+	}
+	c.mu.Unlock()
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func seqPayload(seq, size int) []byte {
+	p := make([]byte, size)
+	p[0], p[1], p[2], p[3] = byte(seq>>24), byte(seq>>16), byte(seq>>8), byte(seq)
+	for i := 4; i < size; i++ {
+		p[i] = byte(seq * (i + 7))
+	}
+	return p
+}
+
+// runTransfer pushes n payloads a->b using Enqueue/Flush and returns the
+// receiver's indexed copies.
+func runTransfer(t *testing.T, cfg Config, n int) map[int][]byte {
+	t.Helper()
+	a, b := pairCfg(t, cfg)
+	col := newCollector()
+	b.SetOnRecv(col.fn)
+	for i := 0; i < n; i++ {
+		if err := a.Enqueue(seqPayload(i, 600)); err != nil {
+			t.Fatal(err)
+		}
+		if i%8 == 7 {
+			if err := a.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			// Pace gently: this is a correctness transfer, not a flood.
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return col.count() == n }, "differential transfer")
+	if col.dups != 0 {
+		t.Fatalf("%d duplicate datagrams", col.dups)
+	}
+	return col.got
+}
+
+func TestBatchedFallbackDifferential(t *testing.T) {
+	if !batchSyscallsAvailable {
+		t.Skip("batched syscalls unavailable on this platform")
+	}
+	const n = 200
+	batched := DefaultConfig()
+	fallback := DefaultConfig()
+	fallback.NoBatchSyscalls = true
+
+	gotB := runTransfer(t, batched, n)
+	gotF := runTransfer(t, fallback, n)
+	for i := 0; i < n; i++ {
+		want := seqPayload(i, 600)
+		if string(gotB[i]) != string(want) {
+			t.Fatalf("batched payload %d corrupted", i)
+		}
+		if string(gotB[i]) != string(gotF[i]) {
+			t.Fatalf("batched and fallback payloads differ at %d", i)
+		}
+	}
+}
+
+// TestBatchedFallbackInterop crosses the two I/O paths on one wire: a
+// batched sender feeding a fallback receiver and vice versa, proving the
+// syscall seam changes nothing about the bytes on the wire.
+func TestBatchedFallbackInterop(t *testing.T) {
+	if !batchSyscallsAvailable {
+		t.Skip("batched syscalls unavailable on this platform")
+	}
+	const n = 100
+	mk := func(noBatch bool) *Endpoint {
+		cfg := DefaultConfig()
+		cfg.NoBatchSyscalls = noBatch
+		e, err := NewEndpoint("127.0.0.1", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+		return e
+	}
+	for _, dir := range []struct {
+		name             string
+		sendNoB, recvNoB bool
+	}{
+		{"batched->fallback", false, true},
+		{"fallback->batched", true, false},
+	} {
+		snd, rcv := mk(dir.sendNoB), mk(dir.recvNoB)
+		if err := snd.Start(fmt.Sprintf("127.0.0.1:%d", rcv.Ports()[0])); err != nil {
+			t.Fatal(err)
+		}
+		if err := rcv.Start(fmt.Sprintf("127.0.0.1:%d", snd.Ports()[0])); err != nil {
+			t.Fatal(err)
+		}
+		col := newCollector()
+		rcv.SetOnRecv(col.fn)
+		for i := 0; i < n; i++ {
+			if err := snd.Enqueue(seqPayload(i, 300)); err != nil {
+				t.Fatal(err)
+			}
+			if i%16 == 15 {
+				snd.Flush()
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+		snd.Flush()
+		waitFor(t, 5*time.Second, func() bool { return col.count() == n }, dir.name)
+		for i := 0; i < n; i++ {
+			if string(col.got[i]) != string(seqPayload(i, 300)) {
+				t.Fatalf("%s: payload %d corrupted", dir.name, i)
+			}
+		}
+	}
+}
+
+// --- zero-allocation contracts ---
+
+func TestSteadyStateSendZeroAlloc(t *testing.T) {
+	for _, mode := range []struct {
+		name    string
+		noBatch bool
+	}{{"batched", false}, {"fallback", true}} {
+		if !batchSyscallsAvailable && !mode.noBatch {
+			continue
+		}
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.NoBatchSyscalls = mode.noBatch
+			a, b := pairCfg(t, cfg)
+			b.SetOnRecv(func([]byte) {})
+			payload := make([]byte, 512)
+			for i := 0; i < 100; i++ { // warm rings, WRR, flowlet state
+				if err := a.Send(payload); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if n := testing.AllocsPerRun(500, func() { a.Send(payload) }); n != 0 {
+				t.Errorf("steady-state Send allocates %v/op, contract is 0", n)
+			}
+			if n := testing.AllocsPerRun(500, func() { a.Enqueue(payload) }); n != 0 {
+				t.Errorf("steady-state Enqueue allocates %v/op, contract is 0", n)
+			}
+			a.Flush()
+			if n := testing.AllocsPerRun(500, func() {
+				a.Enqueue(payload)
+				a.Flush()
+			}); n != 0 {
+				t.Errorf("steady-state Enqueue+Flush allocates %v/op, contract is 0", n)
+			}
+		})
+	}
+}
+
+func TestSteadyStateReceiveZeroAlloc(t *testing.T) {
+	cfg := DefaultConfig()
+	a, _ := pairCfg(t, cfg)
+	a.SetOnRecv(func([]byte) {})
+	sh := a.shards[0]
+
+	frame := make([]byte, headerLen+512)
+	encodeFrame(frame, 40001, 7, wire.Feedback{}, make([]byte, 512), 0)
+
+	// Steady-state data datagram (no CE, no feedback): the dominant path.
+	a.handleFrame(sh, frame, 40001)
+	if n := testing.AllocsPerRun(1000, func() { a.handleFrame(sh, frame, 40001) }); n != 0 {
+		t.Errorf("steady-state receive allocates %v/op, contract is 0", n)
+	}
+
+	// CE-marked datagram for an already-observed peer port: still zero
+	// (only the first observation of a port allocates its entry).
+	ce := make([]byte, headerLen+512)
+	encodeFrame(ce, 40001, 7, wire.Feedback{}, make([]byte, 512), 0)
+	ce[0] |= fabricCE
+	a.handleFrame(sh, ce, 40001)
+	if n := testing.AllocsPerRun(1000, func() { a.handleFrame(sh, ce, 40001) }); n != 0 {
+		t.Errorf("CE receive allocates %v/op after first observation, contract is 0", n)
+	}
+}

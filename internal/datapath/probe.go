@@ -31,35 +31,33 @@ type probeState struct {
 // slow or congested path is deprioritized even without any data traffic —
 // the real-network analogue of the simulator's Clove-Latency scheme.
 func (e *Endpoint) ProbePaths() {
-	e.mu.Lock()
-	ports := append([]uint16(nil), e.ports...)
-	seqs := make([]uint32, len(ports))
+	seqs := make([]uint32, len(e.ports))
 	now := time.Now()
-	for i, port := range ports {
+	e.probeMu.Lock()
+	for i, port := range e.ports {
 		e.probeSeq++
 		seqs[i] = e.probeSeq
 		if e.probes == nil {
 			e.probes = map[uint32]probeState{}
 		}
 		e.probes[e.probeSeq] = probeState{port: port, sentAt: now}
-		e.stats.ProbesSent++
 	}
-	e.mu.Unlock()
-	for i, port := range ports {
+	e.probeMu.Unlock()
+	e.probesSent.Add(int64(len(e.ports)))
+	for i, port := range e.ports {
 		e.transmit(port, seqs[i], wire.Feedback{}, nil, shimFlagProbe)
 	}
 }
 
 // handleProbe answers an incoming probe: echo its sequence and the path
-// port it arrived on, so the prober can attribute the RTT.
-func (e *Endpoint) handleProbe(shim *wire.SttShim) {
-	e.mu.Lock()
-	e.stats.ProbesAnswered++
-	port := e.curPort
+// port it arrived on, so the prober can attribute the RTT. Runs on the
+// receiving shard's goroutine.
+func (e *Endpoint) handleProbe(sh *pathShard, shim *wire.SttShim) {
+	sh.stats.probesAnswered.Add(1)
+	port := uint16(e.curPortA.Load())
 	if port == 0 && len(e.ports) > 0 {
 		port = e.ports[0]
 	}
-	e.mu.Unlock()
 	// The echo carries the original probe's path port in the feedback
 	// field (attribution) and the sequence in FlowletID.
 	fb := wire.Feedback{Valid: true, Port: shim.PathPort}
@@ -67,17 +65,17 @@ func (e *Endpoint) handleProbe(shim *wire.SttShim) {
 }
 
 // handleProbeEcho resolves an in-flight probe and records the RTT sample.
-func (e *Endpoint) handleProbeEcho(shim *wire.SttShim) {
+func (e *Endpoint) handleProbeEcho(sh *pathShard, shim *wire.SttShim) {
 	now := time.Now()
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.probeMu.Lock()
 	st, ok := e.probes[shim.FlowletID]
 	if !ok {
+		e.probeMu.Unlock()
 		return
 	}
 	delete(e.probes, shim.FlowletID)
 	rtt := now.Sub(st.sentAt)
-	e.stats.ProbeEchoes++
+	sh.stats.probeEchoes.Add(1)
 	if e.rtts == nil {
 		e.rtts = map[uint16]*rttSample{}
 	}
@@ -89,9 +87,12 @@ func (e *Endpoint) handleProbeEcho(shim *wire.SttShim) {
 	s.rtt = rtt
 	s.at = now
 	s.count++
+	e.probeMu.Unlock()
 	// Feed the weight table's metric channel so latency-based selection
 	// and congestion weighting can both see it.
+	e.wmu.Lock()
 	e.weights.OnUtilization(st.port, rtt.Seconds(), e.now())
+	e.wmu.Unlock()
 }
 
 type rttSample struct {
@@ -102,8 +103,8 @@ type rttSample struct {
 
 // PathRTTs returns the latest per-path RTT samples, sorted by port order.
 func (e *Endpoint) PathRTTs() []PathRTT {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.probeMu.Lock()
+	defer e.probeMu.Unlock()
 	now := time.Now()
 	out := make([]PathRTT, 0, len(e.ports))
 	for _, port := range e.ports {

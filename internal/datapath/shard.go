@@ -1,0 +1,278 @@
+package datapath
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// pathShard is the per-path execution unit: one bound UDP socket, a read
+// loop goroutine that owns the receive ring, a transmit ring guarded by a
+// shard-local mutex, shard-private congestion observations, and padded
+// atomic counters. Shards share no per-packet state, so the packet path
+// never takes an endpoint-wide lock.
+type pathShard struct {
+	ep   *Endpoint
+	idx  int
+	port uint16
+	conn *net.UDPConn
+	rawc syscall.RawConn
+
+	// Receive ring — owned by the readLoop goroutine. rxBufs[i] is a fixed
+	// slot (BufSize, widened to 64 KB when GRO is active); after a batch of
+	// n datagrams, rxLen[:n] holds their lengths, rxSrc[:n] the datagram
+	// source ports, and rxSeg[:n] the GRO segment size (0 = the datagram is
+	// a single frame).
+	rxBufs [][]byte
+	rxLen  []int
+	rxSrc  []uint16
+	rxSeg  []int
+
+	// bio is the linux mmsghdr machinery (mmsg_linux.go); nil when the
+	// portable one-at-a-time path is in use.
+	bio *batchIO
+
+	// Transmit ring: txCnt encoded frames pending in txBufs, flushed by one
+	// batched syscall (or a portable write loop).
+	txMu   sync.Mutex
+	txBufs [][]byte
+	txLen  []int
+	txCnt  int
+
+	// Receive-side observations of the peer's forward paths, private to
+	// this shard. obs is append-only in first-observed order; the relay
+	// cursor makes feedback selection deterministic and fair.
+	obsMu    sync.Mutex
+	obs      []obsEntry
+	obsIdx   map[uint16]int
+	fbCursor int
+
+	stats shardStats
+}
+
+type obsEntry struct {
+	port       uint16
+	pendingECN bool
+	lastRelay  time.Time
+}
+
+// shardStats is padded so shards on different cores do not false-share.
+type shardStats struct {
+	received         atomic.Int64
+	ceObserved       atomic.Int64
+	feedbackReceived atomic.Int64
+	decodeErrors     atomic.Int64
+	socketErrors     atomic.Int64
+	probesAnswered   atomic.Int64
+	probeEchoes      atomic.Int64
+	_                [64]byte
+}
+
+func newPathShard(e *Endpoint, idx int, conn *net.UDPConn) (*pathShard, error) {
+	rawc, err := conn.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	sh := &pathShard{
+		ep:     e,
+		idx:    idx,
+		port:   uint16(conn.LocalAddr().(*net.UDPAddr).Port),
+		conn:   conn,
+		rawc:   rawc,
+		rxLen:  make([]int, e.batch),
+		rxSrc:  make([]uint16, e.batch),
+		rxSeg:  make([]int, e.batch),
+		txLen:  make([]int, e.batch),
+		obsIdx: map[uint16]int{},
+	}
+	// One contiguous slab per ring keeps slots cache-adjacent.
+	rxSlab := make([]byte, e.batch*e.bufSize)
+	txSlab := make([]byte, e.batch*e.bufSize)
+	sh.rxBufs = make([][]byte, e.batch)
+	sh.txBufs = make([][]byte, e.batch)
+	for i := 0; i < e.batch; i++ {
+		sh.rxBufs[i] = rxSlab[i*e.bufSize : (i+1)*e.bufSize : (i+1)*e.bufSize]
+		sh.txBufs[i] = txSlab[i*e.bufSize : (i+1)*e.bufSize : (i+1)*e.bufSize]
+	}
+	return sh, nil
+}
+
+// initIO selects the I/O implementation once the remote is known: batched
+// mmsg syscalls where the platform supports them, the portable netip path
+// otherwise (or when forced by Config.NoBatchSyscalls).
+func (sh *pathShard) initIO(remote netip.AddrPort) error {
+	if !batchSyscallsAvailable || sh.ep.cfg.NoBatchSyscalls {
+		sh.bio = nil
+		return nil
+	}
+	bio, err := newBatchIO(sh, remote)
+	if err != nil {
+		// Unsupported address family etc. — fall back, don't fail.
+		sh.bio = nil
+		return nil
+	}
+	sh.bio = bio
+	return nil
+}
+
+// readLoop receives datagram batches until the endpoint closes. On a
+// persistent socket error it backs off exponentially (errBackoffMin..
+// errBackoffMax) instead of hot-looping, and counts the error; a closed
+// socket ends the loop.
+func (sh *pathShard) readLoop() {
+	defer sh.ep.wg.Done()
+	backoff := errBackoffMin
+	for {
+		n, err := sh.recvBatch()
+		if err != nil {
+			select {
+			case <-sh.ep.closed:
+				return
+			default:
+			}
+			sh.stats.socketErrors.Add(1)
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			if !sleepOrClosed(sh.ep.closed, backoff) {
+				return
+			}
+			backoff = nextBackoff(backoff)
+			continue
+		}
+		backoff = errBackoffMin
+		for i := 0; i < n; i++ {
+			b := sh.rxBufs[i][:sh.rxLen[i]]
+			if seg := sh.rxSeg[i]; seg > 0 && seg < len(b) {
+				// GRO-coalesced super-datagram: every seg bytes is one
+				// wire frame (the last may be shorter).
+				for off := 0; off < len(b); off += seg {
+					end := off + seg
+					if end > len(b) {
+						end = len(b)
+					}
+					sh.ep.handleFrame(sh, b[off:end], sh.rxSrc[i])
+				}
+			} else {
+				sh.ep.handleFrame(sh, b, sh.rxSrc[i])
+			}
+		}
+	}
+}
+
+// recvBatch fills the receive ring with as many datagrams as one syscall
+// yields (>= 1), blocking via the runtime poller when none are queued.
+func (sh *pathShard) recvBatch() (int, error) {
+	if sh.bio != nil {
+		return sh.recvBatchMmsg()
+	}
+	n, ap, err := sh.conn.ReadFromUDPAddrPort(sh.rxBufs[0])
+	if err != nil {
+		return 0, err
+	}
+	sh.rxLen[0] = n
+	sh.rxSrc[0] = ap.Port()
+	sh.rxSeg[0] = 0
+	return 1, nil
+}
+
+// flushLocked sends the pending transmit ring. Caller holds txMu.
+func (sh *pathShard) flushLocked() error {
+	if sh.txCnt == 0 {
+		return nil
+	}
+	if sh.bio != nil {
+		return sh.flushMmsgLocked()
+	}
+	var first error
+	for i := 0; i < sh.txCnt; i++ {
+		if _, err := sh.conn.WriteToUDPAddrPort(sh.txBufs[i][:sh.txLen[i]], sh.ep.remoteAP); err != nil {
+			sh.stats.socketErrors.Add(1)
+			if first == nil {
+				first = err
+			}
+		}
+	}
+	sh.txCnt = 0
+	return first
+}
+
+// writeOne sends a single out-of-ring buffer (the oversize slow path).
+func (sh *pathShard) writeOne(buf []byte) error {
+	_, err := sh.conn.WriteToUDPAddrPort(buf, sh.ep.remoteAP)
+	if err != nil {
+		sh.stats.socketErrors.Add(1)
+	}
+	return err
+}
+
+// noteCE records a CE mark observed for the peer's forward path peerPort.
+// First observation of a port appends an entry (the only allocation on this
+// path, once per peer port); steady state only flips a bool.
+func (sh *pathShard) noteCE(peerPort uint16) {
+	sh.obsMu.Lock()
+	if i, ok := sh.obsIdx[peerPort]; ok {
+		sh.obs[i].pendingECN = true
+	} else {
+		sh.obsIdx[peerPort] = len(sh.obs)
+		sh.obs = append(sh.obs, obsEntry{
+			port:       peerPort,
+			pendingECN: true,
+			// Far in the past so the first relay is immediate.
+			lastRelay: time.Now().Add(-time.Hour),
+		})
+	}
+	sh.obsMu.Unlock()
+}
+
+// takeFeedbackRR returns the next due observation's port in round-robin
+// (first-observed) order, or false when none is due.
+func (sh *pathShard) takeFeedbackRR(now time.Time, relayInterval time.Duration) (uint16, bool) {
+	sh.obsMu.Lock()
+	defer sh.obsMu.Unlock()
+	n := len(sh.obs)
+	for k := 0; k < n; k++ {
+		i := sh.fbCursor + k
+		if i >= n {
+			i -= n
+		}
+		ob := &sh.obs[i]
+		if !ob.pendingECN || now.Sub(ob.lastRelay) < relayInterval {
+			continue
+		}
+		ob.pendingECN = false
+		ob.lastRelay = now
+		sh.fbCursor = i + 1
+		if sh.fbCursor >= n {
+			sh.fbCursor = 0
+		}
+		return ob.port, true
+	}
+	return 0, false
+}
+
+// sleepOrClosed sleeps for d unless closed fires first; it reports whether
+// the sleep completed (false = endpoint closing).
+func sleepOrClosed(closed <-chan struct{}, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-closed:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// nextBackoff doubles d, bounded at errBackoffMax.
+func nextBackoff(d time.Duration) time.Duration {
+	d *= 2
+	if d > errBackoffMax {
+		d = errBackoffMax
+	}
+	return d
+}

@@ -47,7 +47,16 @@ type SttShim struct {
 func (s *SttShim) Marshal(b []byte) []byte {
 	off := len(b)
 	b = append(b, make([]byte, SttShimLen)...)
-	p := b[off:]
+	s.Put(b[off:])
+	return b
+}
+
+// Put marshals the shim into the first SttShimLen bytes of p, which the
+// caller must have sized, and returns SttShimLen. Unlike Marshal it never
+// grows a slice, so a preallocated wire buffer round-trips with zero
+// allocations — this is the datapath's steady-state encoder.
+func (s *SttShim) Put(p []byte) int {
+	_ = p[SttShimLen-1]
 	flags := s.Flags
 	var fbPort uint16
 	var fbUtil uint8
@@ -68,10 +77,12 @@ func (s *SttShim) Marshal(b []byte) []byte {
 	binary.BigEndian.PutUint16(p[12:], fbPort)
 	if s.Feedback.Valid && s.Feedback.ECN {
 		p[14] = 1
+	} else {
+		p[14] = 0
 	}
 	p[15] = fbUtil
 	binary.BigEndian.PutUint16(p[16:], s.PathPort)
-	return b
+	return SttShimLen
 }
 
 // Unmarshal parses the shim and returns bytes consumed.

@@ -133,6 +133,50 @@ func TestSttShimNoFeedback(t *testing.T) {
 	}
 }
 
+func TestSttShimPutMatchesMarshal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		s := SttShim{
+			Version:    uint8(rng.Intn(4)),
+			Flags:      uint8(rng.Intn(256)) &^ (ShimFlagECNFeedback | ShimFlagUtilValid),
+			FlowletID:  rng.Uint32(),
+			VNI:        rng.Uint32() & 0xffffff,
+			PayloadLen: uint16(rng.Intn(1 << 16)),
+			PathPort:   uint16(rng.Intn(1 << 16)),
+		}
+		if rng.Intn(2) == 0 {
+			s.Feedback = Feedback{
+				Valid: true, Port: uint16(rng.Intn(1 << 16)), ECN: rng.Intn(2) == 0,
+				HasUtil: rng.Intn(2) == 0, Util: rng.Float64(),
+			}
+		}
+		want := s.Marshal(nil)
+		// Put into a dirty buffer: every byte must be overwritten.
+		got := bytes.Repeat([]byte{0xa5}, SttShimLen)
+		if n := s.Put(got); n != SttShimLen {
+			t.Fatalf("Put returned %d", n)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("Put differs from Marshal:\n%x\n%x\nshim %+v", got, want, s)
+		}
+	}
+}
+
+func TestSttShimPutZeroAlloc(t *testing.T) {
+	s := SttShim{
+		Version: 1, FlowletID: 7, VNI: 9, PayloadLen: 1200, PathPort: 40001,
+		Feedback: Feedback{Valid: true, Port: 40002, ECN: true, HasUtil: true, Util: 0.5},
+	}
+	buf := make([]byte, SttShimLen)
+	if n := testing.AllocsPerRun(1000, func() { s.Put(buf) }); n != 0 {
+		t.Errorf("Put allocates %v per run, contract is 0", n)
+	}
+	var g SttShim
+	if n := testing.AllocsPerRun(1000, func() { g.Unmarshal(buf) }); n != 0 {
+		t.Errorf("Unmarshal allocates %v per run, contract is 0", n)
+	}
+}
+
 func TestVxlanRoundTrip(t *testing.T) {
 	v := Vxlan{VNI: 0x123456, Reserved: 0x80}
 	b := v.Marshal(nil)
