@@ -1,0 +1,325 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clove/internal/datapath"
+	"clove/internal/lifecycle"
+)
+
+// appConfig is the resolved flag/file configuration for one cloved process.
+type appConfig struct {
+	tenants      []TenantSpec
+	adminAddr    string // empty = no admin plane
+	keepalive    time.Duration
+	statsEvery   time.Duration
+	drainTimeout time.Duration
+
+	// Datapath I/O tuning, shared by every tenant endpoint.
+	batch   int
+	bufSize int
+	noBatch bool
+	noSeg   bool
+
+	// serveAfterEOF keeps the process serving (receive + admin) after stdin
+	// closes instead of exiting — set when an admin plane or a tenants file
+	// makes this an operated service rather than a pipe filter.
+	serveAfterEOF bool
+}
+
+// app wires tenants, the admin plane, tickers, and the stdin reader into a
+// lifecycle manager. Component order is bring-up order; teardown is the
+// reverse, so input stops first, tickers die, tenants drain, and the admin
+// plane — observable throughout the drain — goes last.
+type app struct {
+	cfg     appConfig
+	mgr     *lifecycle.Manager
+	tenants []*tenant
+	admin   *adminServer
+
+	stdin  io.Reader
+	stdout io.Writer
+	stderr io.Writer
+
+	// inputDone receives the scanner's terminal error (nil on clean EOF)
+	// exactly once.
+	inputDone chan error
+	draining  atomic.Bool
+}
+
+func newApp(cfg appConfig, stdin io.Reader, stdout, stderr io.Writer) (*app, error) {
+	if len(cfg.tenants) == 0 {
+		return nil, fmt.Errorf("cloved: no tenants configured")
+	}
+	a := &app{
+		cfg:       cfg,
+		mgr:       lifecycle.New(),
+		stdin:     stdin,
+		stdout:    stdout,
+		stderr:    stderr,
+		inputDone: make(chan error, 1),
+	}
+	a.mgr.StopTimeout = cfg.drainTimeout + 5*time.Second
+
+	if cfg.adminAddr != "" {
+		a.admin = newAdminServer(a, cfg.adminAddr)
+		a.mgr.Add("admin", a.admin)
+	}
+	for i := range cfg.tenants {
+		t := &tenant{app: a, spec: cfg.tenants[i]}
+		a.tenants = append(a.tenants, t)
+		a.mgr.Add("tenant/"+t.spec.Name, t)
+	}
+	if cfg.keepalive > 0 {
+		for _, t := range a.tenants {
+			t := t
+			a.mgr.Add("keepalive/"+t.spec.Name, &lifecycle.Ticker{
+				Interval: cfg.keepalive,
+				Tick: func() {
+					if ep := t.endpoint(); ep != nil && t.ready.Load() {
+						ep.Keepalive()
+						ep.ProbePaths()
+					}
+				},
+			})
+		}
+	}
+	if cfg.statsEvery > 0 {
+		a.mgr.Add("stats", &lifecycle.Ticker{
+			Interval: cfg.statsEvery,
+			Tick:     a.printStats,
+		})
+	}
+	a.mgr.Add("stdin", &stdinReader{app: a})
+	return a, nil
+}
+
+// tenantNamed returns the tenant with the given name, or the first tenant
+// when name is empty.
+func (a *app) tenantNamed(name string) *tenant {
+	if name == "" {
+		return a.tenants[0]
+	}
+	for _, t := range a.tenants {
+		if t.spec.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// printStats emits one stats line (plus RTT detail) per tenant.
+func (a *app) printStats() {
+	for _, t := range a.tenants {
+		ep := t.endpoint()
+		if ep == nil {
+			continue
+		}
+		fmt.Fprintf(a.stdout, "-- %s%s\n", t.label(), t.statsLine())
+		for _, r := range ep.PathRTTs() {
+			if r.Samples > 0 {
+				fmt.Fprintf(a.stdout, "   path %d: rtt=%v (%d samples, %v old)\n",
+					r.Port, r.RTT, r.Samples, r.Age.Round(time.Millisecond))
+			}
+		}
+	}
+}
+
+// tenant is the lifecycle component owning one overlay's endpoint.
+// Start acquires everything (sockets, read loops); Stop drains: flush the
+// tx rings, close within the drain deadline, and emit a final stats line.
+type tenant struct {
+	app  *app
+	spec TenantSpec
+
+	ep    atomic.Pointer[datapath.Endpoint]
+	ready atomic.Bool
+
+	mu     sync.Mutex
+	remote string
+
+	stopOnce sync.Once
+	stopErr  error
+}
+
+func (t *tenant) endpoint() *datapath.Endpoint { return t.ep.Load() }
+
+// label prefixes multi-tenant output with the tenant name; the single-tenant
+// stats line keeps the historical bare format.
+func (t *tenant) label() string {
+	if len(t.app.tenants) == 1 {
+		return ""
+	}
+	return "[" + t.spec.Name + "] "
+}
+
+func (t *tenant) Init(ctx context.Context) error {
+	if t.spec.Paths < 1 {
+		return fmt.Errorf("tenant %q: need at least one path", t.spec.Name)
+	}
+	return nil
+}
+
+func (t *tenant) Start(ctx context.Context) error {
+	cfg := datapath.DefaultConfig()
+	cfg.Paths = t.spec.Paths
+	cfg.FlowletGap = time.Duration(t.spec.FlowletGap)
+	cfg.RelayInterval = time.Duration(t.spec.RelayInterval)
+	if t.app.cfg.batch > 0 {
+		cfg.Batch = t.app.cfg.batch
+	}
+	if t.app.cfg.bufSize > 0 {
+		cfg.BufSize = t.app.cfg.bufSize
+	}
+	cfg.NoBatchSyscalls = t.app.cfg.noBatch
+	cfg.NoSegmentation = t.app.cfg.noSeg
+
+	ep, err := datapath.NewEndpoint(t.spec.Listen, cfg)
+	if err != nil {
+		return fmt.Errorf("tenant %q: %w", t.spec.Name, err)
+	}
+	label := t.label()
+	out := t.app.stdout
+	ep.SetOnRecv(func(p []byte) { fmt.Fprintf(out, "<- %s%s\n", label, p) })
+	if err := ep.Start(t.spec.Remote); err != nil {
+		ep.Close()
+		return fmt.Errorf("tenant %q: %w", t.spec.Name, err)
+	}
+	t.ep.Store(ep)
+	t.setRemote(t.spec.Remote)
+	if t.spec.Remote != "" {
+		t.ready.Store(true)
+	}
+	fmt.Fprintf(out, "paths%s: %v (batched syscalls: %v)\n",
+		nameSuffix(label), ep.Ports(),
+		datapath.BatchSyscallsSupported() && !cfg.NoBatchSyscalls)
+	if t.spec.Remote == "" {
+		fmt.Fprintf(out, "%sno remote; receive-only until a /config retarget\n", label)
+	}
+	return nil
+}
+
+// nameSuffix turns "[blue] " into "[blue]" for the paths banner.
+func nameSuffix(label string) string { return strings.TrimSuffix(label, " ") }
+
+// Stop drains the tenant: flush pending tx rings, close within the drain
+// deadline, then print the final stats line so the last words of a tenant
+// are its delivery counts. Idempotent.
+func (t *tenant) Stop() error {
+	t.stopOnce.Do(func() {
+		ep := t.endpoint()
+		if ep == nil {
+			return
+		}
+		t.stopErr = ep.Drain(t.app.cfg.drainTimeout)
+		fmt.Fprintf(t.app.stdout, "-- final %s%s\n", t.label(), t.statsLine())
+	})
+	return t.stopErr
+}
+
+// Ready reports whether this tenant's tunnel is serving a remote: it
+// becomes ready when Start(remote) succeeds, or — for a receive-only
+// tenant — when a /config retarget installs a remote.
+func (t *tenant) Ready() error {
+	if !t.ready.Load() {
+		return fmt.Errorf("tenant %q: no remote configured", t.spec.Name)
+	}
+	return nil
+}
+
+func (t *tenant) setRemote(remote string) {
+	t.mu.Lock()
+	t.remote = remote
+	t.mu.Unlock()
+}
+
+func (t *tenant) remoteAddr() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.remote
+}
+
+// retarget hot-reloads the tenant's remote without dropping the endpoint.
+func (t *tenant) retarget(remote string) error {
+	ep := t.endpoint()
+	if ep == nil {
+		return fmt.Errorf("tenant %q: not started", t.spec.Name)
+	}
+	if err := ep.Retarget(remote); err != nil {
+		return err
+	}
+	t.setRemote(remote)
+	t.ready.Store(true)
+	return nil
+}
+
+// statsLine renders the counters with weights sorted by port, so the line
+// is deterministic run-to-run (a map-ranged print was not).
+func (t *tenant) statsLine() string {
+	ep := t.endpoint()
+	if ep == nil {
+		return "(not started)"
+	}
+	st := ep.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "sent=%d recv=%d flowlets=%d ce=%d fb(tx=%d rx=%d) errs(sock=%d decode=%d) weights=[",
+		st.Sent, st.Received, st.Flowlets, st.CEObserved,
+		st.FeedbackSent, st.FeedbackReceived,
+		st.SocketErrors, st.DecodeErrors)
+	for i, pw := range ep.WeightsSorted() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%.3f", pw.Port, pw.Weight)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// stdinReader is the lifecycle component feeding stdin lines into the first
+// tenant's tunnel. Its scanner accepts tokens up to the datapath's 65535-
+// byte payload bound (the 64 KiB bufio default silently ended the old
+// read loop), and the terminal scanner error is reported through
+// app.inputDone instead of being dropped. Stop flips the draining flag so
+// shutdown stops accepting input immediately; the blocked read itself is
+// released when the process exits or the input closes.
+type stdinReader struct {
+	app *app
+}
+
+func (s *stdinReader) Init(ctx context.Context) error { return nil }
+
+func (s *stdinReader) Start(ctx context.Context) error {
+	a := s.app
+	t := a.tenants[0]
+	go func() {
+		sc := bufio.NewScanner(a.stdin)
+		sc.Buffer(make([]byte, 0, 16*1024), datapath.MaxPayload)
+		for sc.Scan() {
+			if a.draining.Load() {
+				break
+			}
+			ep := t.endpoint()
+			if ep == nil {
+				continue
+			}
+			if err := ep.Send(sc.Bytes()); err != nil {
+				fmt.Fprintln(a.stderr, "cloved: send:", err)
+			}
+		}
+		a.inputDone <- sc.Err()
+	}()
+	return nil
+}
+
+func (s *stdinReader) Stop() error {
+	s.app.draining.Store(true)
+	return nil
+}

@@ -1,106 +1,163 @@
-// Command cloved runs a real userspace Clove tunnel endpoint over UDP:
-// multiple local sockets (one per ECMP path, distinguished by outer source
-// port), flowlet switching, and in-band congestion feedback with adaptive
-// path weights. Lines read from stdin are sent through the tunnel; received
-// payloads are printed to stdout. Two instances pointed at each other (or
-// at a path emulator) form a bidirectional overlay.
+// Command cloved runs a real userspace Clove tunnel endpoint over UDP as an
+// operated, long-running service: multiple local sockets (one per ECMP
+// path, distinguished by outer source port), flowlet switching, in-band
+// congestion feedback with adaptive path weights — plus a component
+// lifecycle with graceful drain on SIGINT/SIGTERM, an optional admin plane
+// (-admin) serving health/readiness probes, JSON stats, and hot-reload of
+// the flowlet gap, relay interval, and remote without dropping flows, and
+// multi-tenant serving (-tenants) mapping N overlays onto N shared-nothing
+// endpoints in one process.
+//
+// Lines read from stdin are sent through the (first) tenant's tunnel;
+// received payloads are printed to stdout. Two instances pointed at each
+// other (or at a path emulator) form a bidirectional overlay.
 //
 // Example (two terminals):
 //
-//	cloved -listen 127.0.0.1 -paths 4
+//	cloved -listen 127.0.0.1 -paths 4 -admin 127.0.0.1:7070
 //	  -> prints "paths: [p1 p2 p3 p4]"; pick the first port P
 //	cloved -listen 127.0.0.1 -paths 4 -remote 127.0.0.1:P
-//	  -> then point the first instance at this one's first port
+//	  -> then re-point the first instance without restarting it:
+//	     curl -X POST -d '{"remote":"127.0.0.1:Q"}' http://127.0.0.1:7070/config
+//
+// On SIGINT/SIGTERM the service drains: input stops, tickers stop, every
+// tenant flushes its transmit rings and closes within -drain-timeout, a
+// final stats line is emitted per tenant, and the process exits 0.
 package main
 
 import (
-	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
-
-	"clove/internal/datapath"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so tests can drive the whole
+// service — flags, signals, drain, exit code — in process.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cloved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		listen  = flag.String("listen", "127.0.0.1", "local IP to bind path sockets on")
-		remote  = flag.String("remote", "", "remote endpoint addr (host:port); empty = receive-only until set")
-		paths   = flag.Int("paths", 4, "number of path sockets (outer source ports)")
-		gap     = flag.Duration("flowlet-gap", 500*time.Microsecond, "flowlet inter-packet gap")
-		relay   = flag.Duration("relay", 250*time.Microsecond, "feedback relay interval")
-		stats   = flag.Duration("stats", 2*time.Second, "stats print interval (0 disables)")
-		keepint = flag.Duration("keepalive", 100*time.Millisecond, "keepalive/feedback-carrier interval")
-		batch   = flag.Int("batch", 0, "datagrams per batched syscall / ring depth (0 = default)")
-		bufsize = flag.Int("bufsize", 0, "transmit ring slot size in bytes (0 = default)")
-		noBatch = flag.Bool("no-batch", false, "force one-datagram-per-syscall I/O (portable path)")
-		noSeg   = flag.Bool("no-gso", false, "disable UDP GSO/GRO segmentation offload")
+		listen   = fs.String("listen", "127.0.0.1", "local IP to bind path sockets on")
+		remote   = fs.String("remote", "", "remote endpoint addr (host:port); empty = receive-only until a /config retarget")
+		paths    = fs.Int("paths", 4, "number of path sockets (outer source ports)")
+		gap      = fs.Duration("flowlet-gap", 500*time.Microsecond, "flowlet inter-packet gap")
+		relay    = fs.Duration("relay", 250*time.Microsecond, "feedback relay interval")
+		stats    = fs.Duration("stats", 2*time.Second, "stats print interval (0 disables)")
+		keepint  = fs.Duration("keepalive", 100*time.Millisecond, "keepalive/feedback-carrier interval (0 disables)")
+		batch    = fs.Int("batch", 0, "datagrams per batched syscall / ring depth (0 = default)")
+		bufsize  = fs.Int("bufsize", 0, "transmit ring slot size in bytes (0 = default)")
+		noBatch  = fs.Bool("no-batch", false, "force one-datagram-per-syscall I/O (portable path)")
+		noSeg    = fs.Bool("no-gso", false, "disable UDP GSO/GRO segmentation offload")
+		admin    = fs.String("admin", "", "admin HTTP addr (host:port) serving /healthz /readyz /stats /config; empty disables")
+		tenants  = fs.String("tenants", "", "JSON tenants spec file; overrides -listen/-remote/-paths/-flowlet-gap/-relay")
+		drainTmo = fs.Duration("drain-timeout", 5*time.Second, "max wait for each tenant's drain on shutdown")
 	)
-	flag.Parse()
-
-	cfg := datapath.DefaultConfig()
-	cfg.Paths = *paths
-	cfg.FlowletGap = *gap
-	cfg.RelayInterval = *relay
-	if *batch > 0 {
-		cfg.Batch = *batch
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	if *bufsize > 0 {
-		cfg.BufSize = *bufsize
-	}
-	cfg.NoBatchSyscalls = *noBatch
-	cfg.NoSegmentation = *noSeg
 
-	ep, err := datapath.NewEndpoint(*listen, cfg)
+	// Serialize writers: tenants, tickers, and the admin plane all print.
+	stdout, stderr = newSyncWriter(stdout), newSyncWriter(stderr)
+
+	cfg := appConfig{
+		adminAddr:     *admin,
+		keepalive:     *keepint,
+		statsEvery:    *stats,
+		drainTimeout:  *drainTmo,
+		batch:         *batch,
+		bufSize:       *bufsize,
+		noBatch:       *noBatch,
+		noSeg:         *noSeg,
+		serveAfterEOF: *admin != "" || *tenants != "",
+	}
+	if *tenants != "" {
+		specs, err := loadTenants(*tenants)
+		if err != nil {
+			fmt.Fprintln(stderr, "cloved:", err)
+			return 1
+		}
+		cfg.tenants = specs
+	} else {
+		cfg.tenants = []TenantSpec{{
+			Name:          "default",
+			Listen:        *listen,
+			Remote:        *remote,
+			Paths:         *paths,
+			FlowletGap:    Duration(*gap),
+			RelayInterval: Duration(*relay),
+		}}
+	}
+
+	a, err := newApp(cfg, stdin, stdout, stderr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cloved:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "cloved:", err)
+		return 1
 	}
-	defer ep.Close()
-	fmt.Printf("paths: %v (batched syscalls: %v)\n", ep.Ports(),
-		datapath.BatchSyscallsSupported() && !*noBatch)
-
-	ep.SetOnRecv(func(p []byte) { fmt.Printf("<- %s\n", p) })
-
-	if *remote == "" {
-		fmt.Println("no -remote given; waiting (receive-only)")
-		select {}
+	ctx := context.Background()
+	if err := a.mgr.Init(ctx); err != nil {
+		fmt.Fprintln(stderr, "cloved:", err)
+		return 1
 	}
-	if err := ep.Start(*remote); err != nil {
-		fmt.Fprintln(os.Stderr, "cloved:", err)
-		os.Exit(1)
+	if err := a.mgr.Start(ctx); err != nil {
+		fmt.Fprintln(stderr, "cloved:", err)
+		return 1
 	}
 
-	if *keepint > 0 {
-		go func() {
-			for range time.Tick(*keepint) {
-				ep.Keepalive()
-				ep.ProbePaths()
-			}
-		}()
-	}
-	if *stats > 0 {
-		go func() {
-			for range time.Tick(*stats) {
-				st := ep.Stats()
-				fmt.Printf("-- sent=%d recv=%d flowlets=%d ce=%d fb(tx=%d rx=%d) errs(sock=%d decode=%d) weights=%v\n",
-					st.Sent, st.Received, st.Flowlets, st.CEObserved,
-					st.FeedbackSent, st.FeedbackReceived,
-					st.SocketErrors, st.DecodeErrors, ep.Weights())
-				for _, r := range ep.PathRTTs() {
-					if r.Samples > 0 {
-						fmt.Printf("   path %d: rtt=%v (%d samples, %v old)\n", r.Port, r.RTT, r.Samples, r.Age.Round(time.Millisecond))
-					}
-				}
-			}
-		}()
-	}
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
 
-	sc := bufio.NewScanner(os.Stdin)
-	for sc.Scan() {
-		if err := ep.Send(sc.Bytes()); err != nil {
-			fmt.Fprintln(os.Stderr, "cloved: send:", err)
+	exit := 0
+	select {
+	case s := <-sigCh:
+		fmt.Fprintf(stdout, "cloved: received %v, draining\n", s)
+	case err := <-a.inputDone:
+		if err != nil {
+			// The old scanner loop dropped this error and exited silently;
+			// a >64 KiB line looked like a clean EOF.
+			fmt.Fprintln(stderr, "cloved: stdin:", err)
+			exit = 1
+		} else if a.cfg.serveAfterEOF {
+			fmt.Fprintln(stdout, "cloved: stdin closed; serving until signalled")
+			s := <-sigCh
+			fmt.Fprintf(stdout, "cloved: received %v, draining\n", s)
 		}
 	}
+	if err := a.mgr.Stop(); err != nil {
+		fmt.Fprintln(stderr, "cloved: shutdown:", err)
+		if exit == 0 {
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// syncWriter serializes concurrent writers (shard receive callbacks, stats
+// tickers, the drain path) onto one stream.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func newSyncWriter(w io.Writer) io.Writer {
+	if _, ok := w.(*syncWriter); ok {
+		return w
+	}
+	return &syncWriter{w: w}
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
 }

@@ -167,8 +167,13 @@ func TestFeedbackShiftsWeightsThroughEmulator(t *testing.T) {
 		}
 	}()
 
+	// Wait for the first relay only: each feedback shifts weight off the
+	// marked path, and on a slow machine the reduced share can stop
+	// exceeding the 5 Mbps path's queue — CE (correctly) stops recurring,
+	// so demanding several relays races the adaptive equilibrium. The
+	// weight-spread assertion below is what proves the shift happened.
 	waitFor(t, 5*time.Second, func() bool {
-		return snd.Stats().FeedbackReceived > 3
+		return snd.Stats().FeedbackReceived >= 1
 	}, "feedback arrival at sender")
 	close(stop)
 	wg.Wait()

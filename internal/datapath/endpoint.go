@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,8 +80,17 @@ const (
 // MaxPayload bytes.
 var ErrPayloadTooLarge = errors.New("datapath: payload exceeds 65535 bytes")
 
-// errNoRemote is returned when transmitting before Start.
-var errNoRemote = errors.New("datapath: no remote configured (call Start first)")
+// errNoRemote is returned when transmitting before a remote is configured
+// (Start with a remote, or Retarget on a receive-only endpoint).
+var errNoRemote = errors.New("datapath: no remote configured (call Start or Retarget first)")
+
+// errNotStarted is returned by Retarget before Start.
+var errNotStarted = errors.New("datapath: not started (call Start first)")
+
+// probeExpiry bounds how long an unanswered probe stays in the in-flight
+// table before ProbePaths prunes it (a lost probe would otherwise leak its
+// entry forever).
+const probeExpiry = 30 * time.Second
 
 // Read-loop error backoff bounds: a persistent socket error must not
 // busy-spin the shard goroutine, so consecutive failures sleep with
@@ -161,8 +171,18 @@ type Endpoint struct {
 	ports   []uint16 // local source ports, one per path
 	portIdx []int16  // dense port -> shard index + 1 (0 = unknown)
 
-	remote   *net.UDPAddr
-	remoteAP netip.AddrPort
+	// remoteAP is the current transmit target, nil until Start installs one
+	// (receive-only endpoints stay nil until Retarget). It is an atomic
+	// pointer so Retarget can re-point a live endpoint without stalling the
+	// packet path: shards load it once per flush.
+	remoteAP atomic.Pointer[netip.AddrPort]
+	started  atomic.Bool
+
+	// Hot-reloadable knobs (SetFlowletGap / SetRelayInterval), read on the
+	// send path as single atomic loads so reconfiguration never contends
+	// with traffic.
+	flowletGapNs atomic.Int64
+	relayNs      atomic.Int64
 
 	onRecv atomic.Pointer[func(payload []byte)]
 	start  time.Time
@@ -197,8 +217,9 @@ type Endpoint struct {
 	feedbackSent atomic.Int64
 	probesSent   atomic.Int64
 
-	wg     sync.WaitGroup
-	closed chan struct{}
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
 // NewEndpoint creates an endpoint bound to cfg.Paths UDP sockets on
@@ -253,6 +274,8 @@ func NewEndpoint(localIP string, cfg Config) (*Endpoint, error) {
 		UtilAge:      sim.FromDuration(8 * cfg.RelayInterval),
 	}
 	e.weights = clove.NewWeightTable(wcfg, e.ports)
+	e.flowletGapNs.Store(int64(cfg.FlowletGap))
+	e.relayNs.Store(int64(cfg.RelayInterval))
 	return e, nil
 }
 
@@ -285,6 +308,66 @@ func (e *Endpoint) Weights() map[uint16]float64 {
 	return e.weights.Weights()
 }
 
+// PathWeight is one path's share of the weighted round-robin, in the
+// deterministic sorted form returned by WeightsSorted.
+type PathWeight struct {
+	Port   uint16  `json:"port"`
+	Weight float64 `json:"weight"`
+}
+
+// WeightsSorted returns the path weights sorted by port. Weights is a map,
+// so ranging over it is nondeterministic run-to-run; anything printed or
+// serialized (the cloved stats line, the /stats admin endpoint) uses this
+// form instead.
+func (e *Endpoint) WeightsSorted() []PathWeight {
+	w := e.Weights()
+	out := make([]PathWeight, 0, len(w))
+	for port, weight := range w {
+		out = append(out, PathWeight{Port: port, Weight: weight})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Port < out[j].Port })
+	return out
+}
+
+// SetFlowletGap hot-reloads the flowlet inter-packet gap. Safe concurrently
+// with traffic; takes effect on the next Send. Non-positive values are
+// ignored (the gap must stay meaningful for flowlet splitting).
+func (e *Endpoint) SetFlowletGap(d time.Duration) {
+	if d > 0 {
+		e.flowletGapNs.Store(int64(d))
+	}
+}
+
+// FlowletGap returns the current flowlet inter-packet gap.
+func (e *Endpoint) FlowletGap() time.Duration {
+	return time.Duration(e.flowletGapNs.Load())
+}
+
+// SetRelayInterval hot-reloads the feedback relay rate limit. Safe
+// concurrently with traffic. Zero means "relay as fast as feedback is
+// observed"; negative values are ignored. The weight table's staleness
+// windows (CongestedAge/UtilAge) are fixed at construction from the initial
+// Config.RelayInterval.
+func (e *Endpoint) SetRelayInterval(d time.Duration) {
+	if d >= 0 {
+		e.relayNs.Store(int64(d))
+	}
+}
+
+// RelayInterval returns the current feedback relay rate limit.
+func (e *Endpoint) RelayInterval() time.Duration {
+	return time.Duration(e.relayNs.Load())
+}
+
+// RemoteAddr returns the current transmit target, or "" for a receive-only
+// endpoint.
+func (e *Endpoint) RemoteAddr() string {
+	if ap := e.remoteAP.Load(); ap != nil {
+		return ap.String()
+	}
+	return ""
+}
+
 // Stats returns a snapshot of the counters, aggregated across shards.
 func (e *Endpoint) Stats() Stats {
 	s := Stats{
@@ -305,20 +388,52 @@ func (e *Endpoint) Stats() Stats {
 	return s
 }
 
-// Start connects the tunnel to the remote address (the peer's path-0 port
-// or a fabric/emulator ingress) and begins receiving on all paths.
-func (e *Endpoint) Start(remote string) error {
+// resolveRemote resolves a host:port into the unmapped netip form the
+// socket paths use (4-in-6 ::ffff:a.b.c.d is unmapped so WriteToUDPAddrPort
+// accepts the address on IPv4 sockets).
+func resolveRemote(remote string) (netip.AddrPort, error) {
 	addr, err := net.ResolveUDPAddr("udp", remote)
 	if err != nil {
-		return fmt.Errorf("datapath: resolve %q: %w", remote, err)
+		return netip.AddrPort{}, fmt.Errorf("datapath: resolve %q: %w", remote, err)
 	}
-	e.remote = addr
-	// Unmap 4-in-6 (::ffff:a.b.c.d) so WriteToUDPAddrPort accepts the
-	// address on IPv4 sockets.
 	ap := addr.AddrPort()
-	e.remoteAP = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port()), nil
+}
+
+// Start begins receiving on all paths and, when remote is non-empty,
+// connects the tunnel's transmit side to it (the peer's path-0 port or a
+// fabric/emulator ingress). With remote == "" the endpoint starts
+// receive-only: Send/Enqueue fail with a "no remote" error until Retarget
+// installs a target. Calling Start again on a started endpoint delegates to
+// Retarget, so operated callers can treat it as "ensure running, aimed
+// here".
+func (e *Endpoint) Start(remote string) error {
+	if e.started.Load() {
+		if remote == "" {
+			return nil
+		}
+		return e.Retarget(remote)
+	}
+	if remote != "" {
+		ap, err := resolveRemote(remote)
+		if err != nil {
+			return err
+		}
+		e.remoteAP.Store(&ap)
+	}
 	for _, sh := range e.shards {
-		if err := sh.initIO(e.remoteAP); err != nil {
+		// The batched I/O machinery bakes a sockaddr into its send headers;
+		// a receive-only endpoint aims it at the shard's own local address
+		// until Retarget rewrites it (nothing is transmitted before then).
+		target := e.remoteAP.Load()
+		var ap netip.AddrPort
+		if target != nil {
+			ap = *target
+		} else {
+			lap := sh.conn.LocalAddr().(*net.UDPAddr).AddrPort()
+			ap = netip.AddrPortFrom(lap.Addr().Unmap(), lap.Port())
+		}
+		if err := sh.initIO(ap); err != nil {
 			return fmt.Errorf("datapath: path %d I/O setup: %w", sh.idx, err)
 		}
 	}
@@ -326,7 +441,70 @@ func (e *Endpoint) Start(remote string) error {
 		e.wg.Add(1)
 		go sh.readLoop()
 	}
+	e.started.Store(true)
 	return nil
+}
+
+// Retarget re-points a live endpoint's transmit side at a new remote
+// without dropping the sockets, the read loops, or any accumulated path
+// state (weights, RTT samples, flowlet position) — the hot-reload half of
+// operated serving. Frames already enqueued are flushed to the old remote
+// first so no queued datagram is silently redirected mid-batch.
+func (e *Endpoint) Retarget(remote string) error {
+	if !e.started.Load() {
+		return errNotStarted
+	}
+	ap, err := resolveRemote(remote)
+	if err != nil {
+		return err
+	}
+	var first error
+	for _, sh := range e.shards {
+		sh.txMu.Lock()
+		if ferr := sh.flushLocked(); ferr != nil && !errors.Is(ferr, errNoRemote) && first == nil {
+			first = ferr
+		}
+		if sh.bio != nil {
+			if rerr := sh.bio.retarget(ap); rerr != nil && first == nil {
+				first = rerr
+			}
+		}
+		sh.txMu.Unlock()
+	}
+	e.remoteAP.Store(&ap)
+	return first
+}
+
+// Drain performs the graceful-shutdown half of the endpoint contract: flush
+// every shard's pending transmit ring to the wire, then close the sockets
+// and wait — bounded by timeout — for the read loops to exit. A zero or
+// negative timeout waits indefinitely (plain Close semantics). On timeout
+// the endpoint is still closing in the background; Drain just stops
+// waiting and reports it.
+func (e *Endpoint) Drain(timeout time.Duration) error {
+	flushErr := e.Flush()
+	if errors.Is(flushErr, errNoRemote) {
+		flushErr = nil // receive-only: nothing pending to flush
+	}
+	done := make(chan error, 1)
+	go func() { done <- e.Close() }()
+	if timeout <= 0 {
+		if err := <-done; err != nil && flushErr == nil {
+			flushErr = err
+		}
+		return flushErr
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case err := <-done:
+		if err != nil && flushErr == nil {
+			flushErr = err
+		}
+		return flushErr
+	case <-t.C:
+		return fmt.Errorf("datapath: drain: close did not complete within %v", timeout)
+	}
 }
 
 // now returns monotonic time as sim.Time for the shared weight logic.
@@ -359,7 +537,7 @@ func (e *Endpoint) send(payload []byte, flush bool) error {
 	}
 	e.sendMu.Lock()
 	nowT := time.Now()
-	if e.lastSend.IsZero() || nowT.Sub(e.lastSend) > e.cfg.FlowletGap {
+	if e.lastSend.IsZero() || nowT.Sub(e.lastSend) > time.Duration(e.flowletGapNs.Load()) {
 		e.wmu.Lock()
 		e.curPort = e.weights.NextPort()
 		e.wmu.Unlock()
@@ -372,11 +550,18 @@ func (e *Endpoint) send(payload []byte, flush bool) error {
 	flowlet := e.flowlet
 	fb := e.takeFeedbackLocked(nowT)
 	e.sendMu.Unlock()
+	err := e.transmitOpt(port, flowlet, fb, payload, 0, flush)
+	if err != nil {
+		// Not counted as sent: a drain-time caller comparing Stats().Sent
+		// against the receiver's delivery count must not see frames that
+		// never made it to a socket.
+		return err
+	}
 	e.sent.Add(1)
 	if fb.Valid {
 		e.feedbackSent.Add(1)
 	}
-	return e.transmitOpt(port, flowlet, fb, payload, 0, flush)
+	return nil
 }
 
 // Flush pushes every shard's pending send ring to the wire. It returns the
@@ -402,7 +587,7 @@ func (e *Endpoint) transmit(port uint16, flowlet uint32, fb wire.Feedback, paylo
 // transmitOpt encodes one datagram into the port's send ring and flushes it
 // if requested (or if the ring filled).
 func (e *Endpoint) transmitOpt(port uint16, flowlet uint32, fb wire.Feedback, payload []byte, extraFlags uint8, flush bool) error {
-	if e.remote == nil {
+	if e.remoteAP.Load() == nil {
 		return errNoRemote
 	}
 	sh := e.shardFor(port)
@@ -522,7 +707,7 @@ func (e *Endpoint) takeFeedbackLocked(now time.Time) wire.Feedback {
 		if idx >= ns {
 			idx -= ns
 		}
-		if port, ok := e.shards[idx].takeFeedbackRR(now, e.cfg.RelayInterval); ok {
+		if port, ok := e.shards[idx].takeFeedbackRR(now, time.Duration(e.relayNs.Load())); ok {
 			e.fbShard = idx + 1
 			if e.fbShard >= ns {
 				e.fbShard = 0
@@ -534,8 +719,11 @@ func (e *Endpoint) takeFeedbackLocked(now time.Time) wire.Feedback {
 }
 
 // Keepalive sends a payload-less datagram (feedback carrier / BFD-style
-// liveness) on every path.
+// liveness) on every path. A no-op on a receive-only endpoint.
 func (e *Endpoint) Keepalive() {
+	if e.remoteAP.Load() == nil {
+		return
+	}
 	e.sendMu.Lock()
 	fb := e.takeFeedbackLocked(time.Now())
 	e.sendMu.Unlock()
@@ -548,16 +736,15 @@ func (e *Endpoint) Keepalive() {
 	}
 }
 
-// Close shuts down all sockets and waits for readers to exit.
+// Close shuts down all sockets and waits for readers to exit. Idempotent
+// and safe to call concurrently; every call waits for the readers.
 func (e *Endpoint) Close() error {
-	select {
-	case <-e.closed:
-	default:
+	e.closeOnce.Do(func() {
 		close(e.closed)
-	}
-	for _, sh := range e.shards {
-		sh.conn.Close()
-	}
+		for _, sh := range e.shards {
+			sh.conn.Close()
+		}
+	})
 	e.wg.Wait()
 	return nil
 }

@@ -211,6 +211,29 @@ func newBatchIO(sh *pathShard, remote netip.AddrPort) (*batchIO, error) {
 	return bio, nil
 }
 
+// retarget re-aims the baked send headers at a new remote. Callers hold the
+// shard's txMu (the send closures only run under it), so the sockaddr bytes
+// are never rewritten mid-syscall. A same-family change rewrites the buffer
+// in place; a family change swaps the buffer and repoints every header.
+func (bio *batchIO) retarget(remote netip.AddrPort) error {
+	raddr, err := encodeSockaddr(remote)
+	if err != nil {
+		return err
+	}
+	if len(raddr) == len(bio.raddr) {
+		copy(bio.raddr, raddr)
+		return nil
+	}
+	bio.raddr = raddr
+	for i := range bio.shdrs {
+		bio.shdrs[i].hdr.Name = &bio.raddr[0]
+		bio.shdrs[i].hdr.Namelen = uint32(len(bio.raddr))
+	}
+	bio.gsoHdr.Name = &bio.raddr[0]
+	bio.gsoHdr.Namelen = uint32(len(bio.raddr))
+	return nil
+}
+
 // recvBatchMmsg pulls up to len(rxBufs) datagrams in one recvmmsg,
 // blocking via the runtime poller when the socket is empty.
 func (sh *pathShard) recvBatchMmsg() (int, error) {

@@ -24,3 +24,7 @@ func (sh *pathShard) recvBatchMmsg() (int, error) {
 func (sh *pathShard) flushMmsgLocked() error {
 	panic("datapath: batched syscalls unavailable on this platform")
 }
+
+func (bio *batchIO) retarget(remote netip.AddrPort) error {
+	panic("datapath: batched syscalls unavailable on this platform")
+}

@@ -1,0 +1,292 @@
+package datapath
+
+// PR 10 battery: the operated-endpoint contract — hot-reloadable knobs
+// (SetFlowletGap/SetRelayInterval), live retargeting without dropping the
+// endpoint, receive-only start, graceful drain, idempotent close, and the
+// deterministic sorted weight form.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newCounting returns a receive-only endpoint counting deliveries.
+func newCounting(t *testing.T, cfg Config) (*Endpoint, *atomic.Int64) {
+	t.Helper()
+	ep, err := NewEndpoint("127.0.0.1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ep.Close() })
+	var got atomic.Int64
+	ep.SetOnRecv(func([]byte) { got.Add(1) })
+	if err := ep.Start(""); err != nil {
+		t.Fatal(err)
+	}
+	return ep, &got
+}
+
+func eachIOMode(t *testing.T, fn func(t *testing.T, cfg Config)) {
+	for _, mode := range []struct {
+		name    string
+		noBatch bool
+	}{{"batched", false}, {"fallback", true}} {
+		if !batchSyscallsAvailable && !mode.noBatch {
+			continue
+		}
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Paths = 2
+			cfg.NoBatchSyscalls = mode.noBatch
+			fn(t, cfg)
+		})
+	}
+}
+
+func TestReceiveOnlyStartThenRetarget(t *testing.T) {
+	eachIOMode(t, func(t *testing.T, cfg Config) {
+		recv, got := newCounting(t, cfg)
+
+		snd, err := NewEndpoint("127.0.0.1", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer snd.Close()
+		// Receive-only: transmitting must fail until a remote is installed.
+		if err := snd.Start(""); err != nil {
+			t.Fatal(err)
+		}
+		if err := snd.Send([]byte("x")); err == nil {
+			t.Fatal("Send succeeded without a remote")
+		}
+		if snd.RemoteAddr() != "" {
+			t.Errorf("receive-only RemoteAddr = %q", snd.RemoteAddr())
+		}
+		// Retarget turns the receive-only endpoint into a sender without
+		// restarting it.
+		target := fmt.Sprintf("127.0.0.1:%d", recv.Ports()[0])
+		if err := snd.Retarget(target); err != nil {
+			t.Fatal(err)
+		}
+		if snd.RemoteAddr() != target {
+			t.Errorf("RemoteAddr = %q, want %q", snd.RemoteAddr(), target)
+		}
+		for i := 0; i < 10; i++ {
+			if err := snd.Send([]byte("after retarget")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		waitFor(t, 2*time.Second, func() bool { return got.Load() == 10 }, "delivery after retarget")
+	})
+}
+
+func TestRetargetBeforeStartErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Paths = 1
+	ep, err := NewEndpoint("127.0.0.1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if err := ep.Retarget("127.0.0.1:9"); err == nil {
+		t.Fatal("Retarget before Start succeeded")
+	}
+}
+
+func TestRetargetMidTransferRedirects(t *testing.T) {
+	eachIOMode(t, func(t *testing.T, cfg Config) {
+		r1, got1 := newCounting(t, cfg)
+		r2, got2 := newCounting(t, cfg)
+
+		snd, err := NewEndpoint("127.0.0.1", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer snd.Close()
+		if err := snd.Start(fmt.Sprintf("127.0.0.1:%d", r1.Ports()[0])); err != nil {
+			t.Fatal(err)
+		}
+		const half = 50
+		for i := 0; i < half; i++ {
+			if err := snd.Send([]byte("phase-1")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Start again on a live endpoint = Retarget (the hot-reload path).
+		if err := snd.Start(fmt.Sprintf("127.0.0.1:%d", r2.Ports()[0])); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < half; i++ {
+			if err := snd.Send([]byte("phase-2")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		waitFor(t, 2*time.Second, func() bool { return got1.Load()+got2.Load() == 2*half }, "both phases delivered")
+		if got1.Load() != half || got2.Load() != half {
+			t.Errorf("split = %d/%d, want %d/%d", got1.Load(), got2.Load(), half, half)
+		}
+		if st := snd.Stats(); st.SocketErrors != 0 {
+			t.Errorf("socket errors during retarget: %d", st.SocketErrors)
+		}
+	})
+}
+
+func TestSetFlowletGapHotReload(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Paths = 2
+	cfg.FlowletGap = time.Hour // one giant flowlet
+	a, b := pairCfg(t, cfg)
+	b.SetOnRecv(func([]byte) {})
+	for i := 0; i < 5; i++ {
+		if err := a.Send([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fl := a.Stats().Flowlets; fl != 1 {
+		t.Fatalf("flowlets before reload = %d, want 1", fl)
+	}
+	a.SetFlowletGap(time.Nanosecond) // every send is its own flowlet
+	if got := a.FlowletGap(); got != time.Nanosecond {
+		t.Fatalf("FlowletGap = %v after SetFlowletGap", got)
+	}
+	for i := 0; i < 5; i++ {
+		time.Sleep(10 * time.Microsecond)
+		if err := a.Send([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fl := a.Stats().Flowlets; fl < 4 {
+		t.Errorf("flowlets after reload = %d, want >= 4 (gap change not applied)", fl)
+	}
+	// Invalid values are ignored, not applied.
+	a.SetFlowletGap(0)
+	a.SetFlowletGap(-time.Second)
+	if got := a.FlowletGap(); got != time.Nanosecond {
+		t.Errorf("non-positive gap applied: %v", got)
+	}
+}
+
+func TestSetRelayIntervalHotReload(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Paths = 1
+	cfg.RelayInterval = time.Hour
+	e, err := NewEndpoint("127.0.0.1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	takeFeedback := func(now time.Time) bool {
+		e.sendMu.Lock()
+		defer e.sendMu.Unlock()
+		return e.takeFeedbackLocked(now).Valid
+	}
+	sh := e.shards[0]
+	sh.noteCE(10)
+	now := time.Now() // after noteCE: its lastRelay back-dating is now a full interval ago
+	if !takeFeedback(now) {
+		t.Fatal("first relay not due")
+	}
+	sh.noteCE(10)
+	// With a 1h relay interval the second relay is rate-limited...
+	if takeFeedback(now.Add(time.Second)) {
+		t.Fatal("relay not rate-limited")
+	}
+	// ...until the hot-reload shortens the interval.
+	e.SetRelayInterval(time.Millisecond)
+	if got := e.RelayInterval(); got != time.Millisecond {
+		t.Fatalf("RelayInterval = %v", got)
+	}
+	if !takeFeedback(now.Add(time.Second)) {
+		t.Error("relay still rate-limited after SetRelayInterval")
+	}
+	e.SetRelayInterval(-1)
+	if got := e.RelayInterval(); got != time.Millisecond {
+		t.Errorf("negative relay interval applied: %v", got)
+	}
+}
+
+func TestDrainFlushesPendingEnqueues(t *testing.T) {
+	eachIOMode(t, func(t *testing.T, cfg Config) {
+		recv, got := newCounting(t, cfg)
+		snd, err := NewEndpoint("127.0.0.1", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer snd.Close()
+		if err := snd.Start(fmt.Sprintf("127.0.0.1:%d", recv.Ports()[0])); err != nil {
+			t.Fatal(err)
+		}
+		// Fill rings without flushing: fewer than Batch per path, so
+		// nothing is on the wire until Drain flushes.
+		const n = 20
+		for i := 0; i < n; i++ {
+			if err := snd.Enqueue([]byte("pending")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := snd.Drain(5 * time.Second); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		waitFor(t, 2*time.Second, func() bool { return got.Load() == n }, "drained frames delivered")
+		// The endpoint is closed: transmitting now fails.
+		if err := snd.Send([]byte("x")); err == nil {
+			t.Error("Send succeeded on drained endpoint")
+		}
+	})
+}
+
+func TestDrainReceiveOnly(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Paths = 2
+	ep, _ := newCounting(t, cfg)
+	if err := ep.Drain(2 * time.Second); err != nil {
+		t.Fatalf("receive-only drain: %v", err)
+	}
+}
+
+func TestCloseConcurrentIdempotent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Paths = 2
+	a, _ := pairCfg(t, cfg)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := a.Close(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := a.Close(); err != nil { // and once more after the dust settles
+		t.Error(err)
+	}
+}
+
+func TestWeightsSortedByPort(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Paths = 8
+	e, err := NewEndpoint("127.0.0.1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ws := e.WeightsSorted()
+	if len(ws) != 8 {
+		t.Fatalf("len = %d, want 8", len(ws))
+	}
+	sum := 0.0
+	for i, pw := range ws {
+		if i > 0 && ws[i-1].Port >= pw.Port {
+			t.Fatalf("weights not sorted by port: %v", ws)
+		}
+		sum += pw.Weight
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("weights sum to %v, want ~1", sum)
+	}
+}

@@ -31,9 +31,19 @@ type probeState struct {
 // slow or congested path is deprioritized even without any data traffic —
 // the real-network analogue of the simulator's Clove-Latency scheme.
 func (e *Endpoint) ProbePaths() {
+	if e.remoteAP.Load() == nil {
+		return // receive-only: registering in-flight probes would leak them
+	}
 	seqs := make([]uint32, len(e.ports))
 	now := time.Now()
 	e.probeMu.Lock()
+	// Prune probes that were lost on the wire; their entries would otherwise
+	// accumulate forever.
+	for seq, st := range e.probes {
+		if now.Sub(st.sentAt) > probeExpiry {
+			delete(e.probes, seq)
+		}
+	}
 	for i, port := range e.ports {
 		e.probeSeq++
 		seqs[i] = e.probeSeq

@@ -188,9 +188,14 @@ func (sh *pathShard) flushLocked() error {
 	if sh.bio != nil {
 		return sh.flushMmsgLocked()
 	}
+	rap := sh.ep.remoteAP.Load()
+	if rap == nil {
+		sh.txCnt = 0
+		return errNoRemote
+	}
 	var first error
 	for i := 0; i < sh.txCnt; i++ {
-		if _, err := sh.conn.WriteToUDPAddrPort(sh.txBufs[i][:sh.txLen[i]], sh.ep.remoteAP); err != nil {
+		if _, err := sh.conn.WriteToUDPAddrPort(sh.txBufs[i][:sh.txLen[i]], *rap); err != nil {
 			sh.stats.socketErrors.Add(1)
 			if first == nil {
 				first = err
@@ -203,7 +208,11 @@ func (sh *pathShard) flushLocked() error {
 
 // writeOne sends a single out-of-ring buffer (the oversize slow path).
 func (sh *pathShard) writeOne(buf []byte) error {
-	_, err := sh.conn.WriteToUDPAddrPort(buf, sh.ep.remoteAP)
+	rap := sh.ep.remoteAP.Load()
+	if rap == nil {
+		return errNoRemote
+	}
+	_, err := sh.conn.WriteToUDPAddrPort(buf, *rap)
 	if err != nil {
 		sh.stats.socketErrors.Add(1)
 	}

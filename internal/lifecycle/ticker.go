@@ -1,0 +1,75 @@
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Ticker is a Component that runs Tick every Interval on its own goroutine.
+// Unlike the `for range time.Tick(...)` idiom it replaces, the underlying
+// time.Ticker is stopped and the goroutine joined when the component stops,
+// so a managed service leaks neither on shutdown.
+type Ticker struct {
+	// Interval between ticks; must be positive.
+	Interval time.Duration
+	// Tick is the periodic work. It runs on the ticker goroutine; a tick
+	// that outlasts Interval delays later ticks (time.Ticker semantics).
+	Tick func()
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	started  bool
+}
+
+// Init validates the configuration.
+func (t *Ticker) Init(ctx context.Context) error {
+	if t.Interval <= 0 {
+		return errors.New("ticker: interval must be positive")
+	}
+	if t.Tick == nil {
+		return errors.New("ticker: nil Tick func")
+	}
+	t.stop = make(chan struct{})
+	t.done = make(chan struct{})
+	return nil
+}
+
+// Start launches the ticking goroutine.
+func (t *Ticker) Start(ctx context.Context) error {
+	if t.stop == nil {
+		if err := t.Init(ctx); err != nil {
+			return err
+		}
+	}
+	t.started = true
+	go func() {
+		defer close(t.done)
+		tk := time.NewTicker(t.Interval)
+		defer tk.Stop()
+		for {
+			select {
+			case <-t.stop:
+				return
+			case <-tk.C:
+				t.Tick()
+			}
+		}
+	}()
+	return nil
+}
+
+// Stop halts the ticker and waits for the goroutine (and any in-flight
+// tick) to finish. Idempotent; safe before Start.
+func (t *Ticker) Stop() error {
+	if t.stop == nil {
+		return nil // never inited
+	}
+	t.stopOnce.Do(func() { close(t.stop) })
+	if t.started {
+		<-t.done
+	}
+	return nil
+}

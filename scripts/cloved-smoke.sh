@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the operated cloved service (needs curl + jq).
+#
+# Brings up two cloved processes over loopback: A receive-only with an
+# admin plane, B pointed at A's first path port. Drives a counted line
+# transfer through the tunnel, probes /healthz /readyz /stats, hot-reloads
+# the flowlet gap and A's remote through /config, then SIGTERMs both and
+# asserts clean exits, the drain banner, a final stats line per process,
+# and that every payload B's drain counted as sent was delivered to A.
+#
+# Usage: scripts/cloved-smoke.sh            (builds cloved itself)
+#        CLOVED=/path/to/cloved scripts/cloved-smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+cleanup() {
+    kill "$(jobs -p)" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+if [[ -z "${CLOVED:-}" ]]; then
+    CLOVED="$WORK/cloved"
+    go build -o "$CLOVED" ./cmd/cloved
+fi
+
+fail() { echo "cloved-smoke: FAIL: $*" >&2; exit 1; }
+note() { echo "cloved-smoke: $*"; }
+
+wait_line() { # file pattern
+    for _ in $(seq 1 100); do
+        grep -q "$2" "$1" 2>/dev/null && return 0
+        sleep 0.1
+    done
+    fail "timeout waiting for '$2' in $1 ($(cat "$1" 2>/dev/null))"
+}
+
+http_code() { curl -s -o /dev/null -w '%{http_code}' "$@"; }
+
+# --- A: receive-only, operated (admin plane keeps it serving after EOF).
+"$CLOVED" -paths 2 -admin 127.0.0.1:0 -stats 0 \
+    </dev/null >"$WORK/a.out" 2>"$WORK/a.err" &
+A_PID=$!
+wait_line "$WORK/a.out" '^admin: '
+A_ADMIN=$(sed -n 's|^admin: http://||p' "$WORK/a.out" | head -1)
+wait_line "$WORK/a.out" 'receive-only'
+
+[[ $(http_code "http://$A_ADMIN/healthz") == 200 ]] || fail "A /healthz not 200"
+# No remote yet: alive but not ready.
+[[ $(http_code "http://$A_ADMIN/readyz") == 503 ]] || fail "A /readyz should be 503 before a remote is installed"
+A_PORT=$(curl -fsS "http://$A_ADMIN/stats" | jq -r '.tenants[0].ports[0]')
+[[ "$A_PORT" =~ ^[0-9]+$ ]] || fail "no path port in A /stats"
+note "A up (pid $A_PID, admin $A_ADMIN, path port $A_PORT)"
+
+# --- B: sender pointed at A, fed N lines then EOF (admin keeps it serving).
+N=500
+( for i in $(seq 1 "$N"); do echo "smoke-$i"; done ) | \
+    "$CLOVED" -paths 2 -remote "127.0.0.1:$A_PORT" -admin 127.0.0.1:0 -stats 0 \
+    >"$WORK/b.out" 2>"$WORK/b.err" &
+B_PID=$!
+wait_line "$WORK/b.out" '^admin: '
+B_ADMIN=$(sed -n 's|^admin: http://||p' "$WORK/b.out" | head -1)
+[[ $(http_code "http://$B_ADMIN/readyz") == 200 ]] || fail "B /readyz not 200 (it has a remote)"
+wait_line "$WORK/b.out" 'stdin closed; serving until signalled'
+note "B up (pid $B_PID, admin $B_ADMIN), $N lines fed"
+
+# --- Transfer lands on A.
+for _ in $(seq 1 100); do
+    [[ "$(grep -c '^<- smoke-' "$WORK/a.out")" -ge "$N" ]] && break
+    sleep 0.1
+done
+GOT=$(grep -c '^<- smoke-' "$WORK/a.out")
+note "A delivered $GOT/$N payloads"
+
+# --- Hot-reload: retarget A at B (tunnel becomes bidirectional) and move
+#     B's flowlet gap; both answer with the applied config.
+B_PORT=$(curl -fsS "http://$B_ADMIN/stats" | jq -r '.tenants[0].ports[0]')
+curl -fsS -X POST -d "{\"remote\":\"127.0.0.1:$B_PORT\"}" "http://$A_ADMIN/config" >/dev/null \
+    || fail "A /config retarget rejected"
+[[ $(http_code "http://$A_ADMIN/readyz") == 200 ]] || fail "A /readyz not 200 after retarget"
+APPLIED=$(curl -fsS -X POST -d '{"flowlet_gap":"2ms"}' "http://$B_ADMIN/config" | jq -r .flowlet_gap)
+[[ "$APPLIED" == "2ms" ]] || fail "B flowlet_gap reload answered '$APPLIED', want 2ms"
+note "hot-reload ok (A retargeted, B flowlet_gap=2ms)"
+
+# --- SIGTERM both: clean exit, drain banner, final stats, zero loss.
+kill -TERM "$B_PID"; B_CODE=0; wait "$B_PID" || B_CODE=$?
+kill -TERM "$A_PID"; A_CODE=0; wait "$A_PID" || A_CODE=$?
+[[ "$A_CODE" == 0 ]] || fail "A exit code $A_CODE (stderr: $(cat "$WORK/a.err"))"
+[[ "$B_CODE" == 0 ]] || fail "B exit code $B_CODE (stderr: $(cat "$WORK/b.err"))"
+grep -q 'received terminated, draining' "$WORK/b.out" || fail "B missing drain banner"
+grep -q '^-- final sent=' "$WORK/a.out" || fail "A missing final drain stats line"
+SENT=$(sed -n 's/^-- final sent=\([0-9]*\).*/\1/p' "$WORK/b.out")
+[[ -n "$SENT" ]] || fail "B missing final drain stats line"
+GOT=$(grep -c '^<- smoke-' "$WORK/a.out")
+[[ "$GOT" == "$SENT" ]] || fail "loss across drain: B sent $SENT, A delivered $GOT"
+note "drain ok: B sent=$SENT, A delivered=$GOT, exits 0/0"
+echo "cloved-smoke: PASS"
